@@ -1,0 +1,56 @@
+// Ablation: how much block-level asynchrony can TPA-SCD tolerate?
+//
+// The design choice under test (DESIGN.md §3): TPA-SCD lets hundreds of
+// thread blocks update coordinates concurrently against mutually-stale
+// shared-vector reads, relying on data sparsity and atomic write-back for
+// convergence.  This bench sweeps the asynchrony window from 1 (sequential)
+// through the device's effective staleness to far beyond it, reporting the
+// duality gap after a fixed epoch budget — showing both why the paper's
+// design works at realistic scale and where it breaks.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/tpa_scd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tpa;
+
+  util::ArgParser parser("ablation_staleness",
+                         "duality gap vs TPA-SCD asynchrony window");
+  bench::add_common_options(parser);
+  if (!parser.parse(argc, argv)) return 1;
+  auto options = bench::read_common_options(parser);
+  options.max_epochs = static_cast<int>(parser.get_int("epochs", 10));
+
+  const auto dataset = bench::make_webspam(options);
+  const core::RidgeProblem problem(dataset, options.lambda);
+
+  const int windows[] = {1, 8, 16, 48, 128, 384, 1024};
+  for (const auto f : {core::Formulation::kPrimal, core::Formulation::kDual}) {
+    std::cout << "\n== gap after " << options.max_epochs << " epochs vs "
+              << "asynchrony window (" << formulation_name(f) << ") ==\n";
+    util::Table table({"window", "final gap", "verdict"});
+    for (const int window : windows) {
+      core::TpaScdOptions tpa_options;
+      tpa_options.async_window_override = window;
+      core::TpaScdSolver solver(problem, f, options.seed, tpa_options);
+      for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+        solver.run_epoch();
+      }
+      const double gap = solver.duality_gap(problem);
+      table.begin_row();
+      table.add_integer(window);
+      table.add_number(gap);
+      table.add_cell(!std::isfinite(gap) || gap > 1.0 ? "DIVERGED"
+                     : gap > 1e-2                     ? "degraded"
+                                                      : "converges");
+    }
+    bench::emit(table, options);
+  }
+  std::cout << "\nnote: the Titan X's effective window is 48 "
+               "(DeviceSpec::async_staleness); the paper's near-sequential "
+               "per-epoch convergence (Figs. 1a/2a) holds while the window "
+               "stays small relative to the coordinate count.\n";
+  return 0;
+}

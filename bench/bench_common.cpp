@@ -1,0 +1,155 @@
+#include "bench_common.hpp"
+
+#include "sparse/matrix_stats.hpp"
+
+namespace tpa::bench {
+
+void add_common_options(util::ArgParser& parser) {
+  parser.add_option("examples", "number of training examples", "6144");
+  parser.add_option("features", "number of features", "12288");
+  parser.add_option("lambda", "ridge regularisation strength", "1e-3");
+  parser.add_option("epochs", "maximum epochs per run", "50");
+  parser.add_option("seed", "RNG seed", "42");
+  parser.add_flag("csv", "emit CSV instead of an aligned table");
+}
+
+BenchOptions read_common_options(const util::ArgParser& parser) {
+  BenchOptions options;
+  options.examples =
+      static_cast<data::Index>(parser.get_int("examples", 6144));
+  options.features =
+      static_cast<data::Index>(parser.get_int("features", 12288));
+  options.lambda = parser.get_double("lambda", 1e-3);
+  options.max_epochs = static_cast<int>(parser.get_int("epochs", 50));
+  options.seed = static_cast<std::uint64_t>(parser.get_int("seed", 42));
+  options.csv = parser.get_bool("csv");
+  return options;
+}
+
+data::Dataset make_webspam(const BenchOptions& options) {
+  data::WebspamLikeConfig config;
+  config.num_examples = options.examples;
+  config.num_features = options.features;
+  config.seed = options.seed;
+  auto dataset = data::make_webspam_like(config);
+  const auto stats = sparse::compute_stats(dataset.by_row());
+  std::cerr << "# dataset " << dataset.name() << ": " << stats.summary()
+            << "\n";
+  if (dataset.paper_scale().has_value()) {
+    const auto& scale = *dataset.paper_scale();
+    std::cerr << "# paper-scale stand-in: " << scale.name << " ("
+              << scale.examples << " x " << scale.features
+              << ", nnz=" << scale.nnz << ") — simulated times use these\n";
+  }
+  return dataset;
+}
+
+void emit(const util::Table& table, const BenchOptions& options) {
+  if (options.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+void shape_check(const std::string& description, double measured,
+                 const std::string& paper_value) {
+  std::cout << "shape-check: " << description << " = "
+            << util::Table::format_number(measured)
+            << " (paper: " << paper_value << ")\n";
+}
+
+std::pair<double, bool> time_to_gap(const core::ConvergenceTrace& trace,
+                                    double eps) {
+  if (const auto t = trace.sim_time_to_gap(eps); t.has_value()) {
+    return {*t, true};
+  }
+  return {trace.points().empty() ? 0.0 : trace.points().back().sim_seconds,
+          false};
+}
+
+std::vector<SolverRun> run_solver_suite(
+    const core::RidgeProblem& problem, core::Formulation formulation,
+    std::span<const core::SolverKind> kinds, const BenchOptions& options,
+    int record_interval) {
+  std::vector<SolverRun> runs;
+  runs.reserve(kinds.size());
+  core::RunOptions run_options;
+  run_options.max_epochs = options.max_epochs;
+  run_options.record_interval = record_interval;
+  for (const auto kind : kinds) {
+    core::SolverConfig config;
+    config.kind = kind;
+    config.formulation = formulation;
+    config.seed = options.seed;
+    auto solver = core::make_solver(problem, config);
+    SolverRun run;
+    run.name = solver->name();
+    run.trace = core::run_solver(*solver, problem, run_options);
+    if (!run.trace.points().empty()) {
+      run.sim_seconds_per_epoch =
+          (run.trace.points().back().sim_seconds -
+           solver->setup_sim_seconds()) /
+          run.trace.points().back().epoch;
+    }
+    std::cerr << "# ran " << run.name << ": final gap "
+              << util::Table::format_number(run.trace.final_gap()) << "\n";
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+void print_gap_vs_epochs(const std::vector<SolverRun>& runs,
+                         const BenchOptions& options) {
+  std::vector<std::string> columns{"epoch"};
+  for (const auto& run : runs) columns.push_back(run.name);
+  util::Table table(std::move(columns));
+  if (runs.empty()) return;
+  const auto& anchor = runs.front().trace.points();
+  for (std::size_t row = 0; row < anchor.size(); ++row) {
+    table.begin_row();
+    table.add_integer(anchor[row].epoch);
+    for (const auto& run : runs) {
+      const auto& points = run.trace.points();
+      if (row < points.size()) {
+        table.add_number(points[row].gap);
+      } else {
+        table.add_cell("-");
+      }
+    }
+  }
+  emit(table, options);
+}
+
+void print_time_summary(const std::vector<SolverRun>& runs, double eps,
+                        const BenchOptions& options) {
+  util::Table table({"solver", "sim s/epoch", "final gap",
+                     "sim time to gap<=" + util::Table::format_number(eps),
+                     "speed-up vs " + (runs.empty() ? "?" : runs[0].name)});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    table.begin_row();
+    table.add_cell(run.name);
+    table.add_number(run.sim_seconds_per_epoch);
+    table.add_number(run.trace.final_gap());
+    const auto [seconds, reached] = time_to_gap(run.trace, eps);
+    table.add_cell(reached ? util::Table::format_number(seconds)
+                           : "not reached");
+    const double speedup = speedup_vs_first(runs, i, eps);
+    table.add_cell(speedup > 0.0
+                       ? util::Table::format_number(speedup) + "x"
+                       : "-");
+  }
+  emit(table, options);
+}
+
+double speedup_vs_first(const std::vector<SolverRun>& runs, std::size_t idx,
+                        double eps) {
+  if (runs.empty() || idx >= runs.size()) return 0.0;
+  const auto base = runs[0].trace.sim_time_to_gap(eps);
+  const auto mine = runs[idx].trace.sim_time_to_gap(eps);
+  if (!base.has_value() || !mine.has_value() || *mine <= 0.0) return 0.0;
+  return *base / *mine;
+}
+
+}  // namespace tpa::bench

@@ -1,0 +1,144 @@
+// Google-benchmark microbenchmarks for the hot kernels underlying every
+// solver: sparse inner products, scatter updates, the coordinate update
+// itself, the simulated block reduction, and one full epoch of each engine.
+// These are *wall-clock* measurements on the host machine (unlike the
+// figure harnesses, which report simulated device time); they support the
+// DESIGN.md §5 calibration of seconds-per-nonzero.
+#include <benchmark/benchmark.h>
+
+#include "core/round_engine.hpp"
+#include "core/seq_scd.hpp"
+#include "data/generators.hpp"
+#include "gpusim/block_context.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/permutation.hpp"
+
+namespace {
+
+using namespace tpa;
+
+const data::Dataset& bench_dataset() {
+  static const data::Dataset dataset = [] {
+    data::WebspamLikeConfig config;
+    config.num_examples = 4096;
+    config.num_features = 8192;
+    return data::make_webspam_like(config);
+  }();
+  return dataset;
+}
+
+void BM_SparseDot(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  std::vector<float> dense(dataset.num_features(), 1.5F);
+  sparse::Index row = 0;
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    const auto view = dataset.by_row().row(row);
+    benchmark::DoNotOptimize(linalg::sparse_dot(view, dense));
+    entries += view.nnz();
+    row = (row + 1) % dataset.num_examples();
+  }
+  state.counters["nnz/s"] = benchmark::Counter(
+      static_cast<double>(entries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SparseDot);
+
+void BM_SparseAxpy(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  std::vector<float> dense(dataset.num_features(), 0.0F);
+  sparse::Index row = 0;
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    const auto view = dataset.by_row().row(row);
+    linalg::sparse_axpy(0.001, view, dense);
+    entries += view.nnz();
+    row = (row + 1) % dataset.num_examples();
+  }
+  state.counters["nnz/s"] = benchmark::Counter(
+      static_cast<double>(entries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SparseAxpy);
+
+void BM_CoordinateDelta(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  const core::RidgeProblem problem(dataset, 1e-3);
+  std::vector<float> shared(dataset.num_features(), 0.1F);
+  sparse::Index row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.coordinate_delta(
+        core::Formulation::kDual, row, shared, 0.0));
+    row = (row + 1) % dataset.num_examples();
+  }
+}
+BENCHMARK(BM_CoordinateDelta);
+
+void BM_BlockReduce(benchmark::State& state) {
+  gpusim::BlockContext block(static_cast<int>(state.range(0)));
+  const std::size_t count = 4096;
+  std::vector<float> terms(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    terms[i] = static_cast<float>(i % 17) * 0.25F;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.strided_reduce(
+        count, [&](std::size_t i) { return terms[i]; }));
+  }
+}
+BENCHMARK(BM_BlockReduce)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CsrMatvec(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  std::vector<float> x(dataset.num_features(), 0.5F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::csr_matvec(dataset.by_row(), x));
+  }
+  state.counters["nnz/s"] = benchmark::Counter(
+      static_cast<double>(dataset.nnz()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CsrMatvec);
+
+void BM_SeqScdEpoch(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  const core::RidgeProblem problem(dataset, 1e-3);
+  core::SeqScdSolver solver(problem, core::Formulation::kDual, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.run_epoch());
+  }
+  // Wall seconds per nonzero: the measured counterpart of the CpuCostModel
+  // constant (DESIGN.md §5).
+  state.counters["ns/nnz"] = benchmark::Counter(
+      1e9 * static_cast<double>(state.iterations()) *
+          static_cast<double>(dataset.nnz()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_SeqScdEpoch);
+
+void BM_AsyncEngineEpoch(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  const core::RidgeProblem problem(dataset, 1e-3);
+  const auto f = core::Formulation::kDual;
+  core::AsyncEngine engine(static_cast<std::size_t>(state.range(0)),
+                           core::CommitPolicy::kAtomicAdd);
+  std::vector<float> weights(problem.num_coordinates(f), 0.0F);
+  std::vector<float> shared(problem.shared_dim(f), 0.0F);
+  util::Rng rng(3);
+  auto order = util::random_permutation(problem.num_coordinates(f), rng);
+  for (auto _ : state) {
+    engine.run_epoch(
+        order,
+        [&](sparse::Index j, std::span<const float> s) {
+          return problem.coordinate_delta(f, j, s, weights[j]);
+        },
+        [&](sparse::Index j) { return problem.coordinate_vector(f, j); },
+        [&](sparse::Index j, double delta) {
+          weights[j] = static_cast<float>(weights[j] + delta);
+        },
+        shared);
+  }
+}
+BENCHMARK(BM_AsyncEngineEpoch)->Arg(1)->Arg(16)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Spam filtering — the paper's webspam scenario end to end.
+//
+// Trains ridge regression on a webspam-like corpus (sign labels: spam /
+// not-spam), using GPU-accelerated TPA-SCD in the dual form with a 75/25
+// train/test split, then evaluates held-out accuracy.  Demonstrates:
+//   * train/test splitting (the paper samples webspam 75/25),
+//   * solving the dual and mapping back to primal weights via eq. (5),
+//   * early stopping on the duality gap,
+//   * comparing wall-clock-simulated time across solver choices.
+//
+//   ./spam_filter [--examples N] [--features M] [--lambda L] [--solver
+//   seq|ascd|wild|tpa-m4000|tpa-titanx]
+#include <cstdio>
+
+#include "core/convergence.hpp"
+#include "core/metrics.hpp"
+#include "core/solver_factory.hpp"
+#include "data/generators.hpp"
+#include "data/split.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tpa;
+
+  util::ArgParser parser("spam_filter",
+                         "webspam-style classification with dual TPA-SCD");
+  parser.add_option("examples", "corpus size before the split", "8192");
+  parser.add_option("features", "number of n-gram features", "16384");
+  parser.add_option("lambda", "regularisation strength", "1e-3");
+  parser.add_option("epochs", "maximum training epochs", "30");
+  parser.add_option("target-gap", "stop once the duality gap reaches this",
+                    "1e-6");
+  parser.add_option("solver", "seq|ascd|wild|tpa-m4000|tpa-titanx",
+                    "tpa-titanx");
+  if (!parser.parse(argc, argv)) return 1;
+
+  // Build the corpus with +-1 labels: a planted linear model decides
+  // spamminess and we train ridge regression on the signs, as one would on
+  // the real webspam corpus.
+  data::WebspamLikeConfig config;
+  config.num_examples =
+      static_cast<data::Index>(parser.get_int("examples", 8192));
+  config.num_features =
+      static_cast<data::Index>(parser.get_int("features", 16384));
+  auto corpus = data::make_webspam_like(config);
+  {
+    // Threshold the real-valued planted labels into spam / not-spam.
+    std::vector<float> signs(corpus.labels().begin(), corpus.labels().end());
+    for (auto& y : signs) y = y >= 0.0F ? 1.0F : -1.0F;
+    const auto scale = corpus.paper_scale();
+    corpus = data::Dataset("webspam_signs", corpus.by_row(), // copy matrix
+                           std::move(signs));
+    if (scale.has_value()) corpus.set_paper_scale(*scale);
+  }
+
+  util::Rng rng(17);
+  const auto split = data::train_test_split(corpus, 0.75, rng);
+  std::printf("train: %s\ntest:  %u examples\n",
+              sparse::compute_stats(split.train.by_row()).summary().c_str(),
+              split.test.num_examples());
+
+  const core::RidgeProblem problem(split.train,
+                                   parser.get_double("lambda", 1e-3));
+  core::SolverConfig solver_config;
+  solver_config.kind =
+      core::parse_solver_kind(parser.get_string("solver", "tpa-titanx"));
+  solver_config.formulation = core::Formulation::kDual;
+  auto solver = core::make_solver(problem, solver_config);
+  std::printf("solver: %s\n", solver->name().c_str());
+
+  core::RunOptions options;
+  options.max_epochs = static_cast<int>(parser.get_int("epochs", 30));
+  options.target_gap = parser.get_double("target-gap", 1e-6);
+  const auto trace = core::run_solver(*solver, problem, options);
+  std::printf("trained %d epochs, duality gap %.3e, simulated time %.3f s "
+              "(at paper scale)\n",
+              trace.points().back().epoch, trace.final_gap(),
+              trace.points().back().sim_seconds);
+
+  // A dual model maps to primal weights via eq. (5): beta = (1/lambda)ATa,
+  // and ATa is exactly the dual shared vector the solver maintains.
+  const auto beta =
+      problem.primal_from_dual_shared(solver->state().shared);
+  const auto train_pred = core::predict(split.train, beta);
+  const auto test_pred = core::predict(split.test, beta);
+  std::printf("train accuracy: %.2f%%\n",
+              100.0 * core::sign_accuracy(train_pred, split.train.labels()));
+  std::printf("test accuracy:  %.2f%%\n",
+              100.0 * core::sign_accuracy(test_pred, split.test.labels()));
+  return 0;
+}

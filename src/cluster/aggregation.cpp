@@ -1,0 +1,32 @@
+#include "cluster/aggregation.hpp"
+
+#include <cmath>
+
+namespace tpa::cluster {
+namespace {
+
+constexpr double kDenominatorFloor = 1e-30;
+
+}  // namespace
+
+double optimal_gamma_primal(const PrimalGammaTerms& terms, double examples,
+                            double lambda, double fallback) {
+  const double denominator =
+      terms.dw_sq + examples * lambda * terms.dbeta_sq;
+  if (!(denominator > kDenominatorFloor)) return fallback;
+  return (terms.y_minus_w_dot_dw -
+          examples * lambda * terms.beta_dot_dbeta) /
+         denominator;
+}
+
+double optimal_gamma_dual(const DualGammaTerms& terms, double examples,
+                          double lambda, double fallback) {
+  const double denominator =
+      terms.dwbar_sq / lambda + examples * terms.dalpha_sq;
+  if (!(denominator > kDenominatorFloor)) return fallback;
+  return (terms.dalpha_dot_y - examples * terms.dalpha_dot_alpha -
+          terms.wbar_dot_dwbar / lambda) /
+         denominator;
+}
+
+}  // namespace tpa::cluster

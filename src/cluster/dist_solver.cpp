@@ -1,0 +1,254 @@
+#include "cluster/dist_solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gpusim/device.hpp"
+#include "util/timer.hpp"
+
+namespace tpa::cluster {
+namespace {
+
+bool is_gpu_kind(core::SolverKind kind) {
+  return kind == core::SolverKind::kTpaM4000 ||
+         kind == core::SolverKind::kTpaTitanX;
+}
+
+}  // namespace
+
+DistributedSolver::DistributedSolver(const data::Dataset& global,
+                                     const DistConfig& config)
+    : global_(&global),
+      config_(config),
+      global_problem_(global, config.lambda),
+      global_workload_(core::TimingWorkload::for_dataset(
+          global, config.formulation)) {
+  if (config.num_workers <= 0) {
+    throw std::invalid_argument(
+        "DistributedSolver: num_workers must be positive");
+  }
+  gpu_local_ = is_gpu_kind(config.local_solver.kind);
+
+  util::Rng rng(config.seed);
+  partition_ = Partition::random(
+      global_problem_.num_coordinates(config.formulation),
+      config.num_workers, rng);
+  shared_.assign(global_problem_.shared_dim(config.formulation), 0.0F);
+
+  workers_.reserve(static_cast<std::size_t>(config.num_workers));
+  for (int k = 0; k < config.num_workers; ++k) {
+    auto worker = std::make_unique<Worker>();
+    worker->shard =
+        make_shard(global, config.formulation, partition_.owned[k]);
+    // The shard problem carries the *global* example count so the λN terms
+    // of the local update rule match the global objective (Section IV.A).
+    worker->problem = std::make_unique<core::RidgeProblem>(
+        worker->shard, config.lambda, global.num_examples());
+    core::SolverConfig local = config.local_solver;
+    local.formulation = config.formulation;
+    local.seed = config.local_solver.seed + static_cast<std::uint64_t>(k);
+    worker->solver = core::make_solver(*worker->problem, local);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+core::EpochReport DistributedSolver::run_epoch() {
+  const util::WallTimer timer;
+  const auto f = config_.formulation;
+  const auto n = static_cast<double>(global_problem_.num_examples());
+  const double lambda = config_.lambda;
+  const double fallback_gamma = 1.0 / config_.num_workers;
+
+  // Aggregated shared-vector delta, accumulated in double on the "master".
+  std::vector<double> dshared(shared_.size(), 0.0);
+  PrimalGammaTerms pterms;
+  DualGammaTerms dterms;
+  double slowest_solver = 0.0;
+
+  const int local_passes = std::max(1, config_.local_epochs_per_round);
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    auto& worker = *workers_[k];
+    auto& state = worker.solver->mutable_state();
+    // Broadcast: the worker starts its epoch from the master's shared
+    // vector (its local copy then diverges as it applies local updates).
+    state.shared.assign(shared_.begin(), shared_.end());
+    worker.weights_start = state.weights;
+
+    double local_seconds = 0.0;
+    for (int pass = 0; pass < local_passes; ++pass) {
+      local_seconds += worker.solver->run_epoch().sim_seconds;
+    }
+    slowest_solver = std::max(slowest_solver, local_seconds);
+
+    // Δw^(t,k), summed straight into the master's accumulator (Reduce).
+    for (std::size_t i = 0; i < shared_.size(); ++i) {
+      dshared[i] += static_cast<double>(state.shared[i]) - shared_[i];
+    }
+    // Local scalar terms for adaptive aggregation (Algorithm 4): computable
+    // on each worker because coordinate ownership is disjoint.
+    const auto labels = worker.shard.labels();
+    for (std::size_t j = 0; j < state.weights.size(); ++j) {
+      const double start = worker.weights_start[j];
+      const double delta = static_cast<double>(state.weights[j]) - start;
+      if (f == core::Formulation::kPrimal) {
+        pterms.beta_dot_dbeta += start * delta;
+        pterms.dbeta_sq += delta * delta;
+      } else {
+        dterms.dalpha_dot_y += delta * labels[j];
+        dterms.dalpha_dot_alpha += start * delta;
+        dterms.dalpha_sq += delta * delta;
+      }
+    }
+  }
+
+  // Master-side terms and the aggregation parameter.
+  if (config_.aggregation == AggregationMode::kAveraging) {
+    last_gamma_ = fallback_gamma;
+  } else if (config_.aggregation == AggregationMode::kFixed) {
+    last_gamma_ = config_.fixed_gamma;
+  } else {
+    double shared_sq = 0.0;
+    double dshared_sq = 0.0;
+    double shared_dot_dshared = 0.0;
+    for (std::size_t i = 0; i < shared_.size(); ++i) {
+      shared_sq += static_cast<double>(shared_[i]) * shared_[i];
+      dshared_sq += dshared[i] * dshared[i];
+      shared_dot_dshared += static_cast<double>(shared_[i]) * dshared[i];
+    }
+    // Once the model has converged to 32-bit precision the epoch's update
+    // direction is rounding noise and the exact line search is
+    // ill-conditioned; fall back to averaging there (it no longer matters).
+    const bool direction_is_noise =
+        dshared_sq <= 1e-10 * std::max(1.0, shared_sq);
+    if (direction_is_noise) {
+      last_gamma_ = fallback_gamma;
+    } else if (f == core::Formulation::kPrimal) {
+      const auto labels = global_->labels();
+      pterms.dw_sq = dshared_sq;
+      for (std::size_t i = 0; i < shared_.size(); ++i) {
+        pterms.y_minus_w_dot_dw +=
+            (static_cast<double>(labels[i]) - shared_[i]) * dshared[i];
+      }
+      last_gamma_ =
+          optimal_gamma_primal(pterms, n, lambda, fallback_gamma);
+    } else {
+      dterms.dwbar_sq = dshared_sq;
+      dterms.wbar_dot_dwbar = shared_dot_dshared;
+      last_gamma_ = optimal_gamma_dual(dterms, n, lambda, fallback_gamma);
+    }
+  }
+
+  // Apply the scaled update on the master and rescale the workers' weight
+  // updates by the same γ so that shared == A·weights stays exact.
+  for (std::size_t i = 0; i < shared_.size(); ++i) {
+    shared_[i] =
+        static_cast<float>(shared_[i] + last_gamma_ * dshared[i]);
+  }
+  std::uint64_t updates = 0;
+  for (auto& worker_ptr : workers_) {
+    auto& worker = *worker_ptr;
+    auto& state = worker.solver->mutable_state();
+    for (std::size_t j = 0; j < state.weights.size(); ++j) {
+      const double start = worker.weights_start[j];
+      const double delta = static_cast<double>(state.weights[j]) - start;
+      state.weights[j] = static_cast<float>(start + last_gamma_ * delta);
+    }
+    updates += state.weights.size();
+  }
+
+  // ---- Simulated time accounting (paper-scale dimensions). ----
+  const auto shared_elems = static_cast<double>(global_workload_.shared_dim);
+  const auto coords_per_worker =
+      static_cast<double>(global_workload_.num_coordinates) /
+      config_.num_workers;
+  const std::size_t shared_bytes =
+      static_cast<std::size_t>(global_workload_.shared_dim) * sizeof(float);
+
+  EpochBreakdown breakdown;
+  breakdown.compute_solver = slowest_solver;
+  // Host arithmetic: forming Δw and applying γΔw (2 passes over the shared
+  // vector on each host, in parallel across workers => counted once), plus
+  // forming / rescaling the local weight deltas (3 passes over the local
+  // coordinates).
+  breakdown.compute_host =
+      config_.local_solver.cpu_cost.seconds_per_vector_element *
+      (3.0 * shared_elems + 3.0 * coords_per_worker);
+  if (gpu_local_) {
+    // Shared vector off the device after the local epoch and the new one
+    // back on, through pinned buffers (Section V.A).
+    gpusim::PcieLink pcie;
+    breakdown.pcie = pcie.transfer_seconds(shared_bytes, /*pinned=*/true) +
+                     pcie.transfer_seconds(shared_bytes, /*pinned=*/true);
+  }
+  breakdown.network =
+      config_.network.reduce_seconds(shared_bytes, config_.num_workers) +
+      config_.network.broadcast_seconds(shared_bytes, config_.num_workers);
+  if (config_.aggregation == AggregationMode::kAdaptive) {
+    // A few scalars ride along with the reduce/broadcast: one extra
+    // latency-bound message each way.
+    breakdown.network += config_.network.reduce_seconds(
+                             4 * sizeof(double), config_.num_workers) +
+                         config_.network.broadcast_seconds(
+                             sizeof(double), config_.num_workers);
+  }
+  last_breakdown_ = breakdown;
+
+  core::EpochReport report;
+  report.coordinate_updates = updates;
+  report.sim_seconds = breakdown.total();
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+double DistributedSolver::duality_gap() const {
+  const auto weights = global_weights();
+  return global_problem_.duality_gap(config_.formulation, weights, shared_);
+}
+
+double DistributedSolver::setup_sim_seconds() const {
+  double slowest = 0.0;
+  for (const auto& worker : workers_) {
+    slowest = std::max(slowest, worker->solver->setup_sim_seconds());
+  }
+  return slowest;
+}
+
+std::vector<float> DistributedSolver::global_weights() const {
+  std::vector<float> weights(
+      global_problem_.num_coordinates(config_.formulation), 0.0F);
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    const auto& local = workers_[k]->solver->state().weights;
+    const auto& owned = partition_.owned[k];
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      weights[owned[j]] = local[j];
+    }
+  }
+  return weights;
+}
+
+core::ConvergenceTrace run_distributed(DistributedSolver& solver,
+                                       const core::RunOptions& options) {
+  core::ConvergenceTrace trace;
+  double sim_total =
+      options.include_setup_time ? solver.setup_sim_seconds() : 0.0;
+  double wall_total = 0.0;
+  for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    const auto report = solver.run_epoch();
+    sim_total += report.sim_seconds;
+    wall_total += report.wall_seconds;
+    if (epoch % options.record_interval == 0 ||
+        epoch == options.max_epochs) {
+      core::TracePoint point;
+      point.epoch = epoch;
+      point.gap = solver.duality_gap();
+      point.sim_seconds = sim_total;
+      point.wall_seconds = wall_total;
+      point.gamma = solver.last_gamma();
+      trace.add(point);
+      if (options.target_gap > 0.0 && point.gap <= options.target_gap) break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace tpa::cluster

@@ -1,0 +1,124 @@
+// Distributed synchronous SCD (paper Algorithms 3 and 4, Section V).
+//
+// K simulated workers each own a shard of the data (by feature for the
+// primal, by example for the dual) and a local solver — any core::Solver,
+// from sequential SCD to TPA-SCD on a simulated GPU.  Every epoch:
+//   1. the master's shared vector is broadcast to the workers;
+//   2. each worker runs one local epoch against its own copy;
+//   3. shared-vector deltas (plus, for adaptive aggregation, a few scalars)
+//      are reduced to the master;
+//   4. the master scales the summed update by γ (1/K for averaging, the
+//      closed-form optimum of Algorithm 4 for adaptive) and applies it;
+//   5. workers rescale their local weight updates by the same γ, keeping the
+//      global invariant  shared == A·(assembled weights)  exact.
+// Per-epoch simulated time is broken down into local-solver compute, host
+// vector arithmetic, PCIe transfers (GPU workers only) and network
+// reduce/broadcast — exactly the four bars of the paper's Fig. 9.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/aggregation.hpp"
+#include "cluster/network_model.hpp"
+#include "cluster/partition.hpp"
+#include "core/convergence.hpp"
+#include "core/solver_factory.hpp"
+
+namespace tpa::cluster {
+
+struct DistConfig {
+  core::Formulation formulation = core::Formulation::kDual;
+  int num_workers = 4;
+  AggregationMode aggregation = AggregationMode::kAveraging;
+  /// γ used when aggregation == kFixed (Smith et al. [25] treat it as a
+  /// free hyper-parameter; the ablation bench sweeps it against Algorithm
+  /// 4's computed optimum).
+  double fixed_gamma = 1.0;
+  /// Local passes per communication round (H ≥ 1).  The paper (Sect. IV.A,
+  /// citing [23]) notes an infrastructure-dependent trade-off between
+  /// computation and communication: more local work per round amortises the
+  /// network cost but each pass uses a staler shared vector, slowing
+  /// convergence per update.  H = 1 is Algorithm 3 exactly.
+  int local_epochs_per_round = 1;
+  /// Local solver configuration; its formulation field is overridden by
+  /// `formulation` above.
+  core::SolverConfig local_solver{};
+  NetworkModel network = NetworkModel::ethernet_10g();
+  double lambda = 1e-3;
+  std::uint64_t seed = 99;
+};
+
+struct EpochBreakdown {
+  double compute_solver = 0.0;  // slowest worker's local epoch (GPU or CPU)
+  double compute_host = 0.0;    // delta/rescale vector arithmetic on hosts
+  double pcie = 0.0;            // shared vector on/off the GPU (GPU workers)
+  double network = 0.0;         // tree reduce + broadcast
+
+  double total() const noexcept {
+    return compute_solver + compute_host + pcie + network;
+  }
+};
+
+class DistributedSolver {
+ public:
+  /// Partitions `global` across the workers and builds their local solvers.
+  /// The dataset must outlive the solver.
+  DistributedSolver(const data::Dataset& global, const DistConfig& config);
+
+  int num_workers() const noexcept { return config_.num_workers; }
+  core::Formulation formulation() const noexcept {
+    return config_.formulation;
+  }
+  const core::RidgeProblem& global_problem() const noexcept {
+    return global_problem_;
+  }
+
+  /// One outer (communication) epoch; report times include all four
+  /// breakdown components.
+  core::EpochReport run_epoch();
+
+  /// Duality gap of the assembled global model.
+  double duality_gap() const;
+
+  /// γ used by the most recent epoch (1/K under averaging).
+  double last_gamma() const noexcept { return last_gamma_; }
+  const EpochBreakdown& last_breakdown() const noexcept {
+    return last_breakdown_;
+  }
+
+  /// One-time setup: slowest worker's dataset upload (GPU locals only).
+  double setup_sim_seconds() const;
+
+  /// Assembles the global weight vector (β or α) from the workers' local
+  /// pieces via the partition.
+  std::vector<float> global_weights() const;
+  const std::vector<float>& global_shared() const noexcept {
+    return shared_;
+  }
+
+ private:
+  struct Worker {
+    data::Dataset shard;
+    std::unique_ptr<core::RidgeProblem> problem;
+    std::unique_ptr<core::Solver> solver;
+    std::vector<float> weights_start;  // per-epoch scratch
+  };
+
+  const data::Dataset* global_;
+  DistConfig config_;
+  core::RidgeProblem global_problem_;
+  Partition partition_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<float> shared_;  // the master's (global) shared vector
+  EpochBreakdown last_breakdown_{};
+  double last_gamma_ = 1.0;
+  bool gpu_local_ = false;
+  core::TimingWorkload global_workload_;  // paper-scale dims for host/net
+};
+
+/// Drives a DistributedSolver like core::run_solver, recording γ per epoch.
+core::ConvergenceTrace run_distributed(DistributedSolver& solver,
+                                       const core::RunOptions& options);
+
+}  // namespace tpa::cluster

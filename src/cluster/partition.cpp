@@ -1,0 +1,145 @@
+#include "cluster/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+#include "sparse/convert.hpp"
+#include "util/permutation.hpp"
+
+namespace tpa::cluster {
+namespace {
+
+/// Scales the global PaperScale onto a shard: the partitioned dimension and
+/// nnz shrink by the shard's actual fraction; the replicated dimension stays
+/// global (the shared vector is not partitioned).
+void inherit_paper_scale(const data::Dataset& global, data::Dataset& shard,
+                         bool by_feature) {
+  const auto& scale = global.paper_scale();
+  if (!scale.has_value() || global.nnz() == 0) return;
+  data::PaperScale local = *scale;
+  const double nnz_fraction = static_cast<double>(shard.nnz()) /
+                              static_cast<double>(global.nnz());
+  local.nnz = static_cast<std::uint64_t>(
+      static_cast<double>(scale->nnz) * nnz_fraction);
+  if (by_feature) {
+    const double coord_fraction =
+        static_cast<double>(shard.num_features()) /
+        static_cast<double>(global.num_features());
+    local.features = static_cast<std::uint64_t>(
+        static_cast<double>(scale->features) * coord_fraction);
+  } else {
+    const double coord_fraction =
+        static_cast<double>(shard.num_examples()) /
+        static_cast<double>(global.num_examples());
+    local.examples = static_cast<std::uint64_t>(
+        static_cast<double>(scale->examples) * coord_fraction);
+  }
+  shard.set_paper_scale(local);
+}
+
+}  // namespace
+
+Partition Partition::random(Index num_coordinates, int workers,
+                            util::Rng& rng) {
+  if (workers <= 0) {
+    throw std::invalid_argument("Partition: workers must be positive");
+  }
+  Partition partition;
+  partition.owned.resize(static_cast<std::size_t>(workers));
+  const auto order = util::random_permutation(num_coordinates, rng);
+  // Deal the shuffled coordinates round-robin so shard sizes differ by at
+  // most one.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    partition.owned[i % static_cast<std::size_t>(workers)].push_back(
+        order[i]);
+  }
+  for (auto& coords : partition.owned) {
+    std::sort(coords.begin(), coords.end());
+  }
+  return partition;
+}
+
+Partition Partition::contiguous(Index num_coordinates, int workers) {
+  if (workers <= 0) {
+    throw std::invalid_argument("Partition: workers must be positive");
+  }
+  Partition partition;
+  partition.owned.resize(static_cast<std::size_t>(workers));
+  const auto per_worker =
+      (num_coordinates + static_cast<Index>(workers) - 1) /
+      static_cast<Index>(workers);
+  for (Index c = 0; c < num_coordinates; ++c) {
+    partition.owned[c / per_worker].push_back(c);
+  }
+  return partition;
+}
+
+bool Partition::covers(Index num_coordinates) const {
+  std::vector<bool> seen(num_coordinates, false);
+  for (const auto& coords : owned) {
+    for (const auto c : coords) {
+      if (c >= num_coordinates || seen[c]) return false;
+      seen[c] = true;
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+data::Dataset make_feature_shard(const data::Dataset& global,
+                                 std::span<const Index> cols) {
+  sparse::CooBuilder coo(global.num_examples(),
+                         static_cast<Index>(cols.size()));
+  const auto& by_col = global.by_col();
+  for (std::size_t local = 0; local < cols.size(); ++local) {
+    const auto view = by_col.col(cols[local]);
+    for (std::size_t k = 0; k < view.nnz(); ++k) {
+      coo.add(view.indices[k], static_cast<Index>(local), view.values[k]);
+    }
+  }
+  std::vector<float> labels(global.labels().begin(), global.labels().end());
+  data::Dataset shard(global.name() + "_fshard", sparse::coo_to_csr(coo),
+                      std::move(labels));
+  inherit_paper_scale(global, shard, /*by_feature=*/true);
+  return shard;
+}
+
+data::Dataset make_example_shard(const data::Dataset& global,
+                                 std::span<const Index> rows) {
+  const auto& by_row = global.by_row();
+  std::vector<sparse::Offset> offsets{0};
+  offsets.reserve(rows.size() + 1);
+  sparse::Offset nnz = 0;
+  for (const auto r : rows) {
+    nnz += by_row.row_nnz(r);
+    offsets.push_back(nnz);
+  }
+  std::vector<Index> indices;
+  std::vector<sparse::Value> values;
+  std::vector<float> labels;
+  indices.reserve(nnz);
+  values.reserve(nnz);
+  labels.reserve(rows.size());
+  for (const auto r : rows) {
+    const auto view = by_row.row(r);
+    indices.insert(indices.end(), view.indices.begin(), view.indices.end());
+    values.insert(values.end(), view.values.begin(), view.values.end());
+    labels.push_back(global.labels()[r]);
+  }
+  sparse::CsrMatrix matrix(static_cast<Index>(rows.size()), by_row.cols(),
+                           std::move(offsets), std::move(indices),
+                           std::move(values));
+  data::Dataset shard(global.name() + "_eshard", std::move(matrix),
+                      std::move(labels));
+  inherit_paper_scale(global, shard, /*by_feature=*/false);
+  return shard;
+}
+
+data::Dataset make_shard(const data::Dataset& global, core::Formulation f,
+                         std::span<const Index> coordinates) {
+  return f == core::Formulation::kPrimal
+             ? make_feature_shard(global, coordinates)
+             : make_example_shard(global, coordinates);
+}
+
+}  // namespace tpa::cluster

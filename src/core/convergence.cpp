@@ -1,0 +1,47 @@
+#include "core/convergence.hpp"
+
+namespace tpa::core {
+
+double ConvergenceTrace::final_gap() const {
+  return points_.empty() ? 0.0 : points_.back().gap;
+}
+
+std::optional<double> ConvergenceTrace::sim_time_to_gap(double eps) const {
+  for (const auto& point : points_) {
+    if (point.gap <= eps) return point.sim_seconds;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> ConvergenceTrace::epochs_to_gap(double eps) const {
+  for (const auto& point : points_) {
+    if (point.gap <= eps) return point.epoch;
+  }
+  return std::nullopt;
+}
+
+ConvergenceTrace run_solver(Solver& solver, const RidgeProblem& problem,
+                            const RunOptions& options) {
+  ConvergenceTrace trace;
+  double sim_total =
+      options.include_setup_time ? solver.setup_sim_seconds() : 0.0;
+  double wall_total = 0.0;
+  for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    const auto report = solver.run_epoch();
+    sim_total += report.sim_seconds;
+    wall_total += report.wall_seconds;
+    if (epoch % options.record_interval == 0 ||
+        epoch == options.max_epochs) {
+      TracePoint point;
+      point.epoch = epoch;
+      point.gap = solver.duality_gap(problem);
+      point.sim_seconds = sim_total;
+      point.wall_seconds = wall_total;
+      trace.add(point);
+      if (options.target_gap > 0.0 && point.gap <= options.target_gap) break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace tpa::core

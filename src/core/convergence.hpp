@@ -1,0 +1,55 @@
+// Convergence tracing: the (epoch, duality gap, time) series behind every
+// figure of the paper, with time-to-target queries for the scaling plots
+// (Figs. 6 and 8).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace tpa::core {
+
+struct TracePoint {
+  int epoch = 0;             // epochs completed when recorded
+  double gap = 0.0;          // duality gap
+  double sim_seconds = 0.0;  // cumulative simulated time
+  double wall_seconds = 0.0; // cumulative measured time
+  double gamma = 0.0;        // aggregation parameter (distributed runs)
+};
+
+class ConvergenceTrace {
+ public:
+  void add(TracePoint point) { points_.push_back(point); }
+
+  const std::vector<TracePoint>& points() const noexcept { return points_; }
+  bool empty() const noexcept { return points_.empty(); }
+
+  double final_gap() const;
+
+  /// First cumulative simulated time at which gap <= eps, if reached.
+  std::optional<double> sim_time_to_gap(double eps) const;
+  /// First epoch count at which gap <= eps, if reached.
+  std::optional<int> epochs_to_gap(double eps) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+struct RunOptions {
+  int max_epochs = 100;
+  /// Stop early once the gap reaches this value (0 disables).
+  double target_gap = 0.0;
+  /// Record the gap every `record_interval` epochs (gap evaluation costs one
+  /// matrix pass; it is measurement, not training, and is excluded from the
+  /// reported times, as in the paper).
+  int record_interval = 1;
+  /// Include the solver's one-time setup (GPU upload) in cumulative time.
+  bool include_setup_time = true;
+};
+
+/// Drives `solver` for up to max_epochs, recording the duality gap.
+ConvergenceTrace run_solver(Solver& solver, const RidgeProblem& problem,
+                            const RunOptions& options);
+
+}  // namespace tpa::core

@@ -1,0 +1,56 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpa::core {
+namespace {
+
+/// Interpolates a speed-up measured at 16 threads to other thread counts on
+/// a log2 scale: 1 thread -> 1x, 16 threads -> `at_16`, beyond 16 flat (the
+/// paper's Xeon runs at most 16 hardware threads).
+double interpolate_speedup(double at_16, int threads) {
+  if (threads <= 1) return 1.0;
+  const double capped = std::min(threads, 16);
+  return 1.0 + (at_16 - 1.0) * std::log2(capped) / 4.0;
+}
+
+}  // namespace
+
+TimingWorkload TimingWorkload::for_dataset(const data::Dataset& dataset,
+                                           Formulation f) {
+  TimingWorkload w;
+  if (const auto& scale = dataset.paper_scale(); scale.has_value()) {
+    w.nnz = scale->nnz;
+    w.num_coordinates =
+        f == Formulation::kPrimal ? scale->features : scale->examples;
+    w.shared_dim =
+        f == Formulation::kPrimal ? scale->examples : scale->features;
+  } else {
+    w.nnz = dataset.nnz();
+    w.num_coordinates = f == Formulation::kPrimal ? dataset.num_features()
+                                                  : dataset.num_examples();
+    w.shared_dim = f == Formulation::kPrimal ? dataset.num_examples()
+                                             : dataset.num_features();
+  }
+  return w;
+}
+
+double CpuCostModel::epoch_seconds_sequential(const TimingWorkload& w) const
+    noexcept {
+  const bool shared_fits_cache =
+      w.shared_dim * sizeof(float) <= llc_bytes;
+  const double per_nnz =
+      shared_fits_cache ? seconds_per_nnz : seconds_per_nnz_uncached;
+  return static_cast<double>(w.nnz) * per_nnz;
+}
+
+double CpuCostModel::atomic_speedup(int threads) const noexcept {
+  return interpolate_speedup(atomic_speedup_at_16, threads);
+}
+
+double CpuCostModel::wild_speedup(int threads) const noexcept {
+  return interpolate_speedup(wild_speedup_at_16, threads);
+}
+
+}  // namespace tpa::core

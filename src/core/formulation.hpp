@@ -1,0 +1,23 @@
+// Primal vs dual formulation of ridge regression (paper Section II).
+//
+// Both formulations are solved by the same family of coordinate methods; they
+// differ in what a "coordinate" is (a feature column for the primal, an
+// example row for the dual), in the dimension of the shared vector
+// (w = Aβ ∈ R^N vs w̄ = Aᵀα ∈ R^M), and in the closed-form update rule
+// (paper eq. 2 vs eq. 4).
+#pragma once
+
+#include <string>
+
+namespace tpa::core {
+
+enum class Formulation {
+  kPrimal,  // minimise P(β); coordinates are features; shared vector w = Aβ
+  kDual,    // maximise D(α); coordinates are examples; shared vector w̄ = Aᵀα
+};
+
+inline const char* formulation_name(Formulation f) {
+  return f == Formulation::kPrimal ? "primal" : "dual";
+}
+
+}  // namespace tpa::core

@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace tpa::core {
+
+std::vector<float> predict(const data::Dataset& dataset,
+                           std::span<const float> beta) {
+  return linalg::csr_matvec(dataset.by_row(), beta);
+}
+
+double rmse(std::span<const float> predictions,
+            std::span<const float> labels) {
+  assert(predictions.size() == labels.size());
+  if (predictions.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double d = static_cast<double>(predictions[i]) - labels[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predictions.size()));
+}
+
+double r_squared(std::span<const float> predictions,
+                 std::span<const float> labels) {
+  assert(predictions.size() == labels.size());
+  if (predictions.empty()) return 0.0;
+  double mean = 0.0;
+  for (const auto y : labels) mean += y;
+  mean /= static_cast<double>(labels.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double res = static_cast<double>(labels[i]) - predictions[i];
+    const double dev = static_cast<double>(labels[i]) - mean;
+    ss_res += res * res;
+    ss_tot += dev * dev;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double sign_accuracy(std::span<const float> predictions,
+                     std::span<const float> labels) {
+  assert(predictions.size() == labels.size());
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred_positive = predictions[i] >= 0.0F;
+    const bool label_positive = labels[i] >= 0.0F;
+    if (pred_positive == label_positive) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+}  // namespace tpa::core

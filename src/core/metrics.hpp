@@ -1,0 +1,33 @@
+// Prediction-quality metrics for the example applications: RMSE and R² for
+// regression, sign accuracy for ±1 classification labels (the criteo-style
+// click task).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace tpa::data {
+class Dataset;
+}
+
+namespace tpa::core {
+
+/// Predictions ŷ = A·β on `dataset` for a primal weight vector.
+std::vector<float> predict(const data::Dataset& dataset,
+                           std::span<const float> beta);
+
+/// Root mean squared error between predictions and labels.
+double rmse(std::span<const float> predictions,
+            std::span<const float> labels);
+
+/// Coefficient of determination R² (1 = perfect, 0 = mean-only baseline).
+double r_squared(std::span<const float> predictions,
+                 std::span<const float> labels);
+
+/// Fraction of examples whose predicted sign matches the label's sign.
+double sign_accuracy(std::span<const float> predictions,
+                     std::span<const float> labels);
+
+}  // namespace tpa::core

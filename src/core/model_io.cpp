@@ -1,0 +1,100 @@
+#include "core/model_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "sparse/io_binary.hpp"
+
+namespace tpa::core {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'P', 'A', 'M'};
+
+struct Header {
+  std::uint32_t formulation = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t weights = 0;
+  std::uint64_t shared = 0;
+  double lambda = 0.0;
+};
+
+void write_raw(std::ostream& out, const void* data, std::size_t bytes,
+               std::uint64_t& checksum) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("model write failed");
+  checksum = sparse::fnv1a(data, bytes, checksum);
+}
+
+void read_raw(std::istream& in, void* data, std::size_t bytes,
+              std::uint64_t& checksum) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    throw std::runtime_error("model read truncated");
+  }
+  checksum = sparse::fnv1a(data, bytes, checksum);
+}
+
+}  // namespace
+
+void write_model(std::ostream& out, const SavedModel& model) {
+  out.write(kMagic, sizeof(kMagic));
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  Header header;
+  header.formulation =
+      model.formulation == Formulation::kPrimal ? 0u : 1u;
+  header.weights = model.weights.size();
+  header.shared = model.shared.size();
+  header.lambda = model.lambda;
+  write_raw(out, &header, sizeof(header), checksum);
+  write_raw(out, model.weights.data(),
+            model.weights.size() * sizeof(float), checksum);
+  write_raw(out, model.shared.data(), model.shared.size() * sizeof(float),
+            checksum);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) throw std::runtime_error("model write failed");
+}
+
+void write_model_file(const std::string& path, const SavedModel& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_model(out, model);
+}
+
+SavedModel read_model(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("model read: bad magic");
+  }
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  Header header;
+  read_raw(in, &header, sizeof(header), checksum);
+  SavedModel model;
+  model.formulation =
+      header.formulation == 0 ? Formulation::kPrimal : Formulation::kDual;
+  model.lambda = header.lambda;
+  model.weights.resize(header.weights);
+  model.shared.resize(header.shared);
+  read_raw(in, model.weights.data(), model.weights.size() * sizeof(float),
+           checksum);
+  read_raw(in, model.shared.data(), model.shared.size() * sizeof(float),
+           checksum);
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(stored) ||
+      stored != checksum) {
+    throw std::runtime_error("model read: checksum mismatch");
+  }
+  return model;
+}
+
+SavedModel read_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_model(in);
+}
+
+}  // namespace tpa::core

@@ -1,0 +1,31 @@
+// Model serialization: save / load trained weight vectors so the CLI tool
+// (tools/tpascd_train) can train once and predict later.
+//
+// Format: magic "TPAM", little-endian header (formulation tag, weight and
+// shared-vector lengths, lambda), raw float arrays, FNV-1a checksum.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace tpa::core {
+
+struct SavedModel {
+  Formulation formulation = Formulation::kPrimal;
+  double lambda = 0.0;
+  std::vector<float> weights;
+  std::vector<float> shared;
+};
+
+/// Writes the model; throws std::runtime_error on IO failure.
+void write_model(std::ostream& out, const SavedModel& model);
+void write_model_file(const std::string& path, const SavedModel& model);
+
+/// Reads a model; throws std::runtime_error on bad magic, truncation or
+/// checksum mismatch.
+SavedModel read_model(std::istream& in);
+SavedModel read_model_file(const std::string& path);
+
+}  // namespace tpa::core

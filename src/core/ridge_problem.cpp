@@ -1,0 +1,150 @@
+#include "core/ridge_problem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace tpa::core {
+
+RidgeProblem::RidgeProblem(const data::Dataset& dataset, double lambda,
+                           Index global_examples)
+    : dataset_(&dataset),
+      lambda_(lambda),
+      global_examples_(global_examples) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("RidgeProblem: lambda must be positive");
+  }
+  if (dataset.num_examples() == 0 || dataset.num_features() == 0) {
+    throw std::invalid_argument("RidgeProblem: dataset must be non-empty");
+  }
+}
+
+Index RidgeProblem::num_coordinates(Formulation f) const noexcept {
+  return f == Formulation::kPrimal ? num_features() : num_examples();
+}
+
+Index RidgeProblem::shared_dim(Formulation f) const noexcept {
+  return f == Formulation::kPrimal ? num_examples() : num_features();
+}
+
+SparseVectorView RidgeProblem::coordinate_vector(Formulation f,
+                                                 Index j) const {
+  return f == Formulation::kPrimal ? dataset_->by_col().col(j)
+                                   : dataset_->by_row().row(j);
+}
+
+double RidgeProblem::coordinate_squared_norm(Formulation f, Index j) const {
+  return f == Formulation::kPrimal ? dataset_->col_squared_norms()[j]
+                                   : dataset_->row_squared_norms()[j];
+}
+
+double RidgeProblem::coordinate_delta(Formulation f, Index j,
+                                      std::span<const float> shared,
+                                      double weight_j) const {
+  const auto n = static_cast<double>(effective_examples());
+  const auto vec = coordinate_vector(f, j);
+  const double norm_sq = coordinate_squared_norm(f, j);
+  if (f == Formulation::kPrimal) {
+    // Eq. (2): Δβ = (⟨y − w, a_m⟩ − Nλβ_m) / (||a_m||² + Nλ).
+    const double residual_dot =
+        linalg::sparse_residual_dot(vec, dataset_->labels(), shared);
+    return (residual_dot - n * lambda_ * weight_j) / (norm_sq + n * lambda_);
+  }
+  // Eq. (4): Δα = (λyₙ − ⟨w̄, āₙ⟩ − λNαₙ) / (λN + ||āₙ||²).
+  const double wbar_dot = linalg::sparse_dot(vec, shared);
+  const double y_n = dataset_->labels()[j];
+  return (lambda_ * y_n - wbar_dot - lambda_ * n * weight_j) /
+         (lambda_ * n + norm_sq);
+}
+
+double RidgeProblem::primal_objective(std::span<const float> beta,
+                                      std::span<const float> w) const {
+  const auto n = static_cast<double>(effective_examples());
+  const auto labels = dataset_->labels();
+  double residual_sq = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double r = static_cast<double>(w[i]) - labels[i];
+    residual_sq += r * r;
+  }
+  return residual_sq / (2.0 * n) +
+         0.5 * lambda_ * linalg::squared_norm(beta);
+}
+
+double RidgeProblem::dual_objective(std::span<const float> alpha,
+                                    std::span<const float> wbar) const {
+  const auto n = static_cast<double>(effective_examples());
+  const auto labels = dataset_->labels();
+  const double alpha_sq = linalg::squared_norm(alpha);
+  const double wbar_sq = linalg::squared_norm(wbar);
+  double alpha_y = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    alpha_y += static_cast<double>(alpha[i]) * labels[i];
+  }
+  return -0.5 * n * alpha_sq - wbar_sq / (2.0 * lambda_) + alpha_y;
+}
+
+double RidgeProblem::primal_duality_gap(std::span<const float> beta,
+                                        std::span<const float> w) const {
+  // Candidate dual point from eq. (6): α = (y − w)/N, then w̄ = Aᵀα.
+  const auto alpha = dual_from_primal_shared(w);
+  const auto wbar = linalg::csr_matvec_transposed(dataset_->by_row(), alpha);
+  return std::abs(primal_objective(beta, w) - dual_objective(alpha, wbar));
+}
+
+double RidgeProblem::dual_duality_gap(std::span<const float> alpha,
+                                      std::span<const float> wbar) const {
+  // Candidate primal point from eq. (5): β = w̄/λ, then w = Aβ.
+  const auto beta = primal_from_dual_shared(wbar);
+  const auto w = linalg::csr_matvec(dataset_->by_row(), beta);
+  return std::abs(primal_objective(beta, w) - dual_objective(alpha, wbar));
+}
+
+double RidgeProblem::duality_gap(Formulation f,
+                                 std::span<const float> weights,
+                                 std::span<const float> shared) const {
+  return f == Formulation::kPrimal ? primal_duality_gap(weights, shared)
+                                   : dual_duality_gap(weights, shared);
+}
+
+std::vector<float> RidgeProblem::primal_from_dual_shared(
+    std::span<const float> wbar) const {
+  std::vector<float> beta(wbar.size());
+  const double inv_lambda = 1.0 / lambda_;
+  for (std::size_t i = 0; i < wbar.size(); ++i) {
+    beta[i] = static_cast<float>(wbar[i] * inv_lambda);
+  }
+  return beta;
+}
+
+std::vector<float> RidgeProblem::dual_from_primal_shared(
+    std::span<const float> w) const {
+  const auto labels = dataset_->labels();
+  std::vector<float> alpha(w.size());
+  const double inv_n = 1.0 / static_cast<double>(effective_examples());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    alpha[i] = static_cast<float>((labels[i] - w[i]) * inv_n);
+  }
+  return alpha;
+}
+
+double RidgeProblem::primal_partial(Index m, std::span<const float> beta,
+                                    std::span<const float> w) const {
+  // ∂P/∂βₘ = (1/N)·⟨Aβ − y, a_m⟩ + λβₘ = −(1/N)·⟨y − w, a_m⟩ + λβₘ.
+  const auto n = static_cast<double>(effective_examples());
+  const double residual_dot = linalg::sparse_residual_dot(
+      coordinate_vector(Formulation::kPrimal, m), dataset_->labels(), w);
+  return -residual_dot / n + lambda_ * static_cast<double>(beta[m]);
+}
+
+double RidgeProblem::dual_partial(Index n, std::span<const float> alpha,
+                                  std::span<const float> wbar) const {
+  // ∂D/∂αₙ = −Nαₙ − (1/λ)·⟨Aᵀα, āₙ⟩ + yₙ.
+  const auto examples = static_cast<double>(effective_examples());
+  const double wbar_dot = linalg::sparse_dot(
+      coordinate_vector(Formulation::kDual, n), wbar);
+  return -examples * static_cast<double>(alpha[n]) - wbar_dot / lambda_ +
+         static_cast<double>(dataset_->labels()[n]);
+}
+
+}  // namespace tpa::core

@@ -1,0 +1,101 @@
+// Ridge regression: objectives, closed-form coordinate updates, duality gap.
+//
+// Primal (paper eq. 1):   P(β) = 1/(2N)·||Aβ − y||² + λ/2·||β||²
+// Dual   (paper eq. 3):   D(α) = −N/2·||α||² − 1/(2λ)·||Aᵀα||² + αᵀy
+// Optimality maps (eqs. 5/6):  β* = (1/λ)Aᵀα*,  α* = (1/N)(y − Aβ*).
+//
+// The duality gap — |P − D| evaluated at the candidate pair induced by the
+// current iterate — is the scale-free convergence metric used throughout the
+// paper's evaluation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/formulation.hpp"
+#include "data/dataset.hpp"
+
+namespace tpa::core {
+
+using data::Index;
+using sparse::SparseVectorView;
+
+class RidgeProblem {
+ public:
+  /// Binds a dataset and regularisation strength λ > 0.  The dataset must
+  /// outlive the problem.  Throws std::invalid_argument for λ <= 0 or an
+  /// empty dataset.
+  ///
+  /// `global_examples` supports the distributed dual setting (Section IV):
+  /// when the dataset is a by-example shard, the λN terms of the update rule
+  /// and objective must use the *global* example count N, not the shard's.
+  /// Zero (default) means "this dataset is the whole problem".
+  explicit RidgeProblem(const data::Dataset& dataset, double lambda,
+                        Index global_examples = 0);
+
+  const data::Dataset& dataset() const noexcept { return *dataset_; }
+  double lambda() const noexcept { return lambda_; }
+  Index num_examples() const noexcept { return dataset_->num_examples(); }
+  Index num_features() const noexcept { return dataset_->num_features(); }
+
+  /// The N used in the update rules / objectives: the global example count
+  /// for by-example shards, otherwise the dataset's own.
+  Index effective_examples() const noexcept {
+    return global_examples_ != 0 ? global_examples_ : num_examples();
+  }
+
+  /// Coordinates visited per epoch: M for the primal, N for the dual.
+  Index num_coordinates(Formulation f) const noexcept;
+  /// Dimension of the shared vector: N for the primal, M for the dual.
+  Index shared_dim(Formulation f) const noexcept;
+
+  /// The sparse vector of coordinate j: column a_m (primal) or row ā_n
+  /// (dual).
+  SparseVectorView coordinate_vector(Formulation f, Index j) const;
+  /// ||a_m||² or ||ā_n||² (precomputed, double precision).
+  double coordinate_squared_norm(Formulation f, Index j) const;
+
+  /// Exact single-coordinate optimiser (paper eqs. 2 / 4): the closed-form
+  /// Δ that minimises P (resp. maximises D) along coordinate j given the
+  /// shared vector and the coordinate's current weight.
+  double coordinate_delta(Formulation f, Index j,
+                          std::span<const float> shared,
+                          double weight_j) const;
+
+  /// P(β) with w = Aβ supplied by the caller.
+  double primal_objective(std::span<const float> beta,
+                          std::span<const float> w) const;
+  /// D(α) with w̄ = Aᵀα supplied by the caller.
+  double dual_objective(std::span<const float> alpha,
+                        std::span<const float> wbar) const;
+
+  /// GP(β) = |P(β) − D((y − Aβ)/N)|; costs one pass over the matrix.
+  double primal_duality_gap(std::span<const float> beta,
+                            std::span<const float> w) const;
+  /// GD(α) = |P(Aᵀα/λ) − D(α)|; costs one pass over the matrix.
+  double dual_duality_gap(std::span<const float> alpha,
+                          std::span<const float> wbar) const;
+
+  /// Dispatches to the gap matching `f` (weights/shared per formulation).
+  double duality_gap(Formulation f, std::span<const float> weights,
+                     std::span<const float> shared) const;
+
+  /// β = (1/λ)·w̄  (eq. 5, given w̄ = Aᵀα).
+  std::vector<float> primal_from_dual_shared(std::span<const float> wbar) const;
+  /// α = (1/N)·(y − w)  (eq. 6, given w = Aβ).
+  std::vector<float> dual_from_primal_shared(std::span<const float> w) const;
+
+  /// ∂P/∂βₘ at (β, w = Aβ) — used by optimality tests.
+  double primal_partial(Index m, std::span<const float> beta,
+                        std::span<const float> w) const;
+  /// ∂D/∂αₙ at (α, w̄ = Aᵀα).
+  double dual_partial(Index n, std::span<const float> alpha,
+                      std::span<const float> wbar) const;
+
+ private:
+  const data::Dataset* dataset_;
+  double lambda_;
+  Index global_examples_ = 0;
+};
+
+}  // namespace tpa::core

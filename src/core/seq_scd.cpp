@@ -1,0 +1,35 @@
+#include "core/seq_scd.hpp"
+
+#include "linalg/vector_ops.hpp"
+#include "util/timer.hpp"
+
+namespace tpa::core {
+
+SeqScdSolver::SeqScdSolver(const RidgeProblem& problem, Formulation f,
+                           std::uint64_t seed, CpuCostModel cost_model)
+    : problem_(&problem),
+      formulation_(f),
+      name_("SCD (1 thread)"),
+      state_(ModelState::zeros(problem, f)),
+      permutation_(problem.num_coordinates(f), util::Rng(seed)),
+      cost_model_(cost_model),
+      workload_(TimingWorkload::for_dataset(problem.dataset(), f)) {}
+
+EpochReport SeqScdSolver::run_epoch() {
+  const util::WallTimer timer;
+  const auto order = permutation_.next();
+  for (const auto j : order) {
+    const double delta = problem_->coordinate_delta(
+        formulation_, j, state_.shared, state_.weights[j]);
+    state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
+    linalg::sparse_axpy(delta, problem_->coordinate_vector(formulation_, j),
+                        state_.shared);
+  }
+  EpochReport report;
+  report.coordinate_updates = order.size();
+  report.sim_seconds = cost_model_.epoch_seconds_sequential(workload_);
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace tpa::core

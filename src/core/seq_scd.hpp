@@ -1,0 +1,37 @@
+// Sequential stochastic coordinate descent (paper Algorithm 1).
+//
+// One epoch draws a fresh random permutation of the coordinates and, for each
+// coordinate, applies the exact closed-form update (eq. 2 primal / eq. 4
+// dual) followed by the sparse shared-vector update.  This is the reference
+// implementation every other solver is measured against.
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "core/solver.hpp"
+#include "util/permutation.hpp"
+
+namespace tpa::core {
+
+class SeqScdSolver final : public Solver {
+ public:
+  SeqScdSolver(const RidgeProblem& problem, Formulation f,
+               std::uint64_t seed, CpuCostModel cost_model = {});
+
+  const std::string& name() const override { return name_; }
+  Formulation formulation() const override { return formulation_; }
+  const ModelState& state() const override { return state_; }
+  ModelState& mutable_state() override { return state_; }
+
+  EpochReport run_epoch() override;
+
+ private:
+  const RidgeProblem* problem_;
+  Formulation formulation_;
+  std::string name_;
+  ModelState state_;
+  util::EpochPermutation permutation_;
+  CpuCostModel cost_model_;
+  TimingWorkload workload_;
+};
+
+}  // namespace tpa::core

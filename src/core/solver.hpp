@@ -1,0 +1,46 @@
+// Solver interface: every local solver (sequential SCD, the asynchronous CPU
+// variants, TPA-SCD on a simulated GPU) exposes epoch-at-a-time execution on
+// a ModelState.  The distributed engine drives solvers through this
+// interface, overwriting the shared vector between epochs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/ridge_problem.hpp"
+
+namespace tpa::core {
+
+struct EpochReport {
+  std::uint64_t coordinate_updates = 0;
+  double sim_seconds = 0.0;   // from the hardware timing model
+  double wall_seconds = 0.0;  // actually measured on this machine
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual Formulation formulation() const = 0;
+
+  virtual const ModelState& state() const = 0;
+  virtual ModelState& mutable_state() = 0;
+
+  /// One pass over all coordinates in a fresh random order.
+  virtual EpochReport run_epoch() = 0;
+
+  /// One-time simulated setup cost (e.g. copying the dataset into GPU
+  /// memory); zero for CPU solvers.
+  virtual double setup_sim_seconds() const { return 0.0; }
+
+  /// Convenience: duality gap of the current state.
+  double duality_gap(const RidgeProblem& problem) const {
+    return problem.duality_gap(formulation(), state().weights,
+                               state().shared);
+  }
+};
+
+}  // namespace tpa::core

@@ -1,0 +1,42 @@
+// Construction of local solvers by kind — the single switch point used by
+// the distributed engine, the benches and the examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "core/solver.hpp"
+
+namespace tpa::core {
+
+enum class SolverKind {
+  kSequential,     // Algorithm 1, single thread
+  kAsyncAtomic,    // A-SCD, deterministic round model
+  kAsyncWild,      // PASSCoDe-Wild, deterministic round model
+  kThreadedAtomic, // A-SCD on real std::threads
+  kThreadedWild,   // PASSCoDe-Wild on real std::threads
+  kTpaM4000,       // TPA-SCD on the simulated Quadro M4000
+  kTpaTitanX,      // TPA-SCD on the simulated GTX Titan X
+};
+
+struct SolverConfig {
+  SolverKind kind = SolverKind::kSequential;
+  Formulation formulation = Formulation::kPrimal;
+  int threads = 16;          // CPU async variants
+  std::uint64_t seed = 1234;
+  CpuCostModel cpu_cost{};
+  bool charge_paper_scale_memory = false;  // TPA variants
+};
+
+/// Builds the solver; throws std::invalid_argument for inconsistent config.
+std::unique_ptr<Solver> make_solver(const RidgeProblem& problem,
+                                    const SolverConfig& config);
+
+/// Parses "seq" | "ascd" | "wild" | "ascd-threads" | "wild-threads" |
+/// "tpa-m4000" | "tpa-titanx"; throws std::invalid_argument otherwise.
+SolverKind parse_solver_kind(const std::string& name);
+
+const char* solver_kind_name(SolverKind kind);
+
+}  // namespace tpa::core

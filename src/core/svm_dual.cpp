@@ -1,0 +1,115 @@
+#include "core/svm_dual.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+#include "util/timer.hpp"
+
+namespace tpa::core {
+
+SvmProblem::SvmProblem(const data::Dataset& dataset, double lambda)
+    : dataset_(&dataset), lambda_(lambda) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("SvmProblem: lambda must be positive");
+  }
+  if (dataset.num_examples() == 0) {
+    throw std::invalid_argument("SvmProblem: dataset must be non-empty");
+  }
+  for (const auto y : dataset.labels()) {
+    if (y != 1.0F && y != -1.0F) {
+      throw std::invalid_argument("SvmProblem: labels must be +-1");
+    }
+  }
+}
+
+double SvmProblem::primal_objective(std::span<const float> v) const {
+  const auto n = static_cast<double>(num_examples());
+  double hinge_sum = 0.0;
+  for (Index i = 0; i < num_examples(); ++i) {
+    const double margin =
+        dataset_->labels()[i] *
+        linalg::sparse_dot(dataset_->by_row().row(i), v);
+    hinge_sum += std::max(0.0, 1.0 - margin);
+  }
+  return 0.5 * lambda_ * linalg::squared_norm(v) + hinge_sum / n;
+}
+
+double SvmProblem::dual_objective(std::span<const float> alpha,
+                                  std::span<const float> v) const {
+  const auto n = static_cast<double>(num_examples());
+  double alpha_sum = 0.0;
+  for (const auto a : alpha) alpha_sum += a;
+  return alpha_sum / n - 0.5 * lambda_ * linalg::squared_norm(v);
+}
+
+double SvmProblem::duality_gap(std::span<const float> alpha,
+                               std::span<const float> v) const {
+  return primal_objective(v) - dual_objective(alpha, v);
+}
+
+double SvmProblem::coordinate_delta(Index n, std::span<const float> v,
+                                    double alpha_n) const {
+  const auto examples = static_cast<double>(num_examples());
+  const double norm_sq = dataset_->row_squared_norms()[n];
+  if (norm_sq == 0.0) return 0.0;  // empty example carries no constraint
+  const double margin =
+      dataset_->labels()[n] *
+      linalg::sparse_dot(dataset_->by_row().row(n), v);
+  const double candidate =
+      alpha_n + (1.0 - margin) * lambda_ * examples / norm_sq;
+  return std::clamp(candidate, 0.0, 1.0) - alpha_n;
+}
+
+double SvmProblem::shared_scale(Index n) const {
+  return dataset_->labels()[n] /
+         (lambda_ * static_cast<double>(num_examples()));
+}
+
+SvmDualSolver::SvmDualSolver(const SvmProblem& problem, std::uint64_t seed,
+                             std::size_t async_window, CpuCostModel cost)
+    : problem_(&problem),
+      alpha_(problem.num_examples(), 0.0F),
+      shared_(problem.num_features(), 0.0F),
+      permutation_(problem.num_examples(), util::Rng(seed)),
+      engine_(async_window, CommitPolicy::kAtomicAdd),
+      cost_model_(cost),
+      workload_(TimingWorkload::for_dataset(problem.dataset(),
+                                            Formulation::kDual)) {}
+
+EpochReport SvmDualSolver::run_epoch() {
+  const util::WallTimer timer;
+  const auto order = permutation_.next();
+  // The engine's delta is the *shared-vector* coefficient
+  // Δαₙ·yₙ/(λN), so that commit can scatter the raw example row; the
+  // weight callback divides the scale back out to update αₙ itself.
+  engine_.run_epoch(
+      order,
+      [this](sparse::Index n, std::span<const float> shared) {
+        const double dalpha =
+            problem_->coordinate_delta(n, shared, alpha_[n]);
+        return dalpha * problem_->shared_scale(n);
+      },
+      [this](sparse::Index n) { return problem_->dataset().by_row().row(n); },
+      [this](sparse::Index n, double scaled_delta) {
+        alpha_[n] = static_cast<float>(
+            alpha_[n] + scaled_delta / problem_->shared_scale(n));
+      },
+      shared_);
+
+  EpochReport report;
+  report.coordinate_updates = order.size();
+  report.sim_seconds = cost_model_.epoch_seconds_sequential(workload_);
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+bool SvmDualSolver::alpha_in_box(double tolerance) const {
+  for (const auto a : alpha_) {
+    if (a < -tolerance || a > 1.0 + tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace tpa::core

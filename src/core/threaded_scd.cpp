@@ -1,0 +1,90 @@
+#include "core/threaded_scd.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace tpa::core {
+
+ThreadedScdSolver::ThreadedScdSolver(const RidgeProblem& problem,
+                                     Formulation f, int threads,
+                                     CommitPolicy policy, std::uint64_t seed,
+                                     CpuCostModel cost_model)
+    : problem_(&problem),
+      formulation_(f),
+      threads_(threads),
+      policy_(policy),
+      state_(ModelState::zeros(problem, f)),
+      permutation_(problem.num_coordinates(f), util::Rng(seed)),
+      cost_model_(cost_model),
+      workload_(TimingWorkload::for_dataset(problem.dataset(), f)) {
+  if (threads <= 0) {
+    throw std::invalid_argument("ThreadedScdSolver: threads must be positive");
+  }
+  const char* base = policy == CommitPolicy::kAtomicAdd
+                         ? "A-SCD/threads"
+                         : "PASSCoDe-Wild/threads";
+  name_ = std::string(base) + " (" + std::to_string(threads) + ")";
+}
+
+void ThreadedScdSolver::worker_pass(std::span<const std::uint32_t> coords) {
+  auto shared = std::span<float>(state_.shared);
+  for (const auto j : coords) {
+    // The read phase sees whatever mixture of committed updates is currently
+    // in memory — genuine asynchrony.
+    const double delta = problem_->coordinate_delta(formulation_, j, shared,
+                                                    state_.weights[j]);
+    state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
+    const auto vec = problem_->coordinate_vector(formulation_, j);
+    if (policy_ == CommitPolicy::kAtomicAdd) {
+      for (std::size_t k = 0; k < vec.nnz(); ++k) {
+        std::atomic_ref<float> cell(shared[vec.indices[k]]);
+        cell.fetch_add(static_cast<float>(delta * vec.values[k]),
+                       std::memory_order_relaxed);
+      }
+    } else {
+      for (std::size_t k = 0; k < vec.nnz(); ++k) {
+        // Deliberately non-atomic: racing writes may be lost ("wild").
+        shared[vec.indices[k]] +=
+            static_cast<float>(delta * vec.values[k]);
+      }
+    }
+  }
+}
+
+EpochReport ThreadedScdSolver::run_epoch() {
+  const util::WallTimer timer;
+  const auto order = permutation_.next();
+
+  // Static partition of the shuffled coordinates across the threads, as the
+  // OpenMP parallel-for in the paper's implementation does.
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads_));
+  const std::size_t chunk =
+      (order.size() + static_cast<std::size_t>(threads_) - 1) /
+      static_cast<std::size_t>(threads_);
+  for (int t = 0; t < threads_; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    if (begin >= order.size()) break;
+    const std::size_t end = std::min(order.size(), begin + chunk);
+    pool.emplace_back(
+        [this, slice = order.subspan(begin, end - begin)] {
+          worker_pass(slice);
+        });
+  }
+  for (auto& worker : pool) worker.join();
+
+  EpochReport report;
+  report.coordinate_updates = order.size();
+  const double speedup = policy_ == CommitPolicy::kAtomicAdd
+                             ? cost_model_.atomic_speedup(threads_)
+                             : cost_model_.wild_speedup(threads_);
+  report.sim_seconds =
+      cost_model_.epoch_seconds_sequential(workload_) / speedup;
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace tpa::core

@@ -1,0 +1,49 @@
+// Real-thread asynchronous SCD: the paper's actual OpenMP-style CPU
+// implementation, here on std::thread.  Threads race on the shared vector
+// exactly as A-SCD / PASSCoDe-Wild do — with C++20 std::atomic_ref
+// fetch_add for the atomic variant and plain unsynchronised read-modify-
+// write for the wild variant.
+//
+// On genuinely parallel hardware this exhibits the paper's staleness and
+// lost-update behaviour natively; on the single-core CI machine races are
+// rare and results are near-sequential, which is why the deterministic
+// AsyncEngine solvers are the default for experiments (DESIGN.md §2).
+#pragma once
+
+#include <atomic>
+
+#include "core/cost_model.hpp"
+#include "core/round_engine.hpp"
+#include "core/solver.hpp"
+#include "util/permutation.hpp"
+
+namespace tpa::core {
+
+class ThreadedScdSolver final : public Solver {
+ public:
+  ThreadedScdSolver(const RidgeProblem& problem, Formulation f, int threads,
+                    CommitPolicy policy, std::uint64_t seed,
+                    CpuCostModel cost_model = {});
+
+  const std::string& name() const override { return name_; }
+  Formulation formulation() const override { return formulation_; }
+  const ModelState& state() const override { return state_; }
+  ModelState& mutable_state() override { return state_; }
+
+  EpochReport run_epoch() override;
+
+ private:
+  void worker_pass(std::span<const std::uint32_t> coords);
+
+  const RidgeProblem* problem_;
+  Formulation formulation_;
+  int threads_;
+  CommitPolicy policy_;
+  std::string name_;
+  ModelState state_;
+  util::EpochPermutation permutation_;
+  CpuCostModel cost_model_;
+  TimingWorkload workload_;
+};
+
+}  // namespace tpa::core

@@ -1,0 +1,103 @@
+#include "core/tpa_scd.hpp"
+
+#include "core/cost_model.hpp"
+#include "util/timer.hpp"
+
+namespace tpa::core {
+namespace {
+
+gpusim::EpochWorkload make_workload(const RidgeProblem& problem,
+                                    Formulation f) {
+  const auto timing = TimingWorkload::for_dataset(problem.dataset(), f);
+  gpusim::EpochWorkload w;
+  w.nnz = timing.nnz;
+  w.num_coordinates = timing.num_coordinates;
+  w.shared_dim = timing.shared_dim;
+  return w;
+}
+
+}  // namespace
+
+TpaScdSolver::TpaScdSolver(const RidgeProblem& problem, Formulation f,
+                           std::uint64_t seed, TpaScdOptions options)
+    : problem_(&problem),
+      formulation_(f),
+      options_(options),
+      name_("TPA-SCD (" + options.device.name + ")"),
+      state_(ModelState::zeros(problem, f)),
+      permutation_(problem.num_coordinates(f), util::Rng(seed)),
+      engine_(static_cast<std::size_t>(
+                  options.async_window_override > 0
+                      ? options.async_window_override
+                      : options.device.async_staleness()),
+              CommitPolicy::kAtomicAdd),
+      block_(options.device.threads_per_block),
+      timing_(options.device),
+      memory_(options.device),
+      workload_(make_workload(problem, f)) {
+  // "The dataset ... is transferred into the GPU memory once at the
+  // beginning of operation and does not move" (paper Section V.A).
+  const auto& dataset = problem.dataset();
+  std::size_t data_bytes = dataset.memory_bytes();
+  if (options_.charge_paper_scale_memory &&
+      dataset.paper_scale().has_value()) {
+    // 8 bytes per stored entry (4 B value + 4 B index), as in Section III.D.
+    data_bytes = static_cast<std::size_t>(dataset.paper_scale()->nnz) * 8;
+  }
+  const std::size_t vector_bytes =
+      (state_.weights.size() + state_.shared.size()) * sizeof(float);
+  memory_.allocate(data_bytes + vector_bytes);
+  setup_sim_seconds_ =
+      memory_.upload_seconds(data_bytes + vector_bytes, options_.pcie,
+                             /*pinned=*/true);
+}
+
+EpochReport TpaScdSolver::run_epoch() {
+  const util::WallTimer timer;
+  const auto order = permutation_.next();
+  const auto labels = problem_->dataset().labels();
+  const auto n = static_cast<double>(problem_->effective_examples());
+  const double lambda = problem_->lambda();
+
+  engine_.run_epoch(
+      order,
+      // The thread-block body of Algorithm 2: strided partial inner product
+      // in 32-bit floats, shared-memory tree reduction, then thread 0's
+      // closed-form delta.
+      [&](sparse::Index j, std::span<const float> shared) {
+        const auto vec = problem_->coordinate_vector(formulation_, j);
+        const double norm_sq =
+            problem_->coordinate_squared_norm(formulation_, j);
+        if (formulation_ == Formulation::kPrimal) {
+          const double dot = block_.strided_reduce(
+              vec.nnz(), [&](std::size_t k) {
+                const auto i = vec.indices[k];
+                return (labels[i] - shared[i]) * vec.values[k];
+              });
+          return (dot - n * lambda * state_.weights[j]) /
+                 (norm_sq + n * lambda);
+        }
+        const double dot = block_.strided_reduce(
+            vec.nnz(), [&](std::size_t k) {
+              return shared[vec.indices[k]] * vec.values[k];
+            });
+        return (lambda * labels[j] - dot -
+                lambda * n * state_.weights[j]) /
+               (lambda * n + norm_sq);
+      },
+      [this](sparse::Index j) {
+        return problem_->coordinate_vector(formulation_, j);
+      },
+      [this](sparse::Index j, double delta) {
+        state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
+      },
+      state_.shared);
+
+  EpochReport report;
+  report.coordinate_updates = order.size();
+  report.sim_seconds = timing_.epoch_seconds(workload_);
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace tpa::core

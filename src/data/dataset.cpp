@@ -1,0 +1,26 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+#include "sparse/convert.hpp"
+
+namespace tpa::data {
+
+Dataset::Dataset(std::string name, sparse::CsrMatrix by_row,
+                 std::vector<float> labels)
+    : name_(std::move(name)),
+      by_row_(std::move(by_row)),
+      labels_(std::move(labels)) {
+  if (labels_.size() != by_row_.rows()) {
+    throw std::invalid_argument("Dataset: labels count must equal rows");
+  }
+  by_col_ = sparse::csr_to_csc(by_row_);
+  row_norms_ = by_row_.row_squared_norms();
+  col_norms_ = by_col_.col_squared_norms();
+}
+
+std::size_t Dataset::memory_bytes() const noexcept {
+  return by_row_.memory_bytes() + labels_.size() * sizeof(float);
+}
+
+}  // namespace tpa::data

@@ -1,0 +1,79 @@
+// A training dataset as the solvers consume it: the same matrix in both
+// compressed orientations (rows for dual / by-example access, columns for
+// primal / by-feature access), the label vector, and cached squared norms.
+//
+// A Dataset also carries optional *paper-scale* statistics: the N, M and nnz
+// of the real dataset a generator stands in for (webspam, criteo).  The
+// timing models evaluate simulated runtimes at paper scale while convergence
+// runs on the scaled matrix — see DESIGN.md §5.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace tpa::data {
+
+using sparse::Index;
+using sparse::Offset;
+
+/// Statistics of the full-size dataset that a scaled generator emulates.
+struct PaperScale {
+  std::string name;           // e.g. "webspam"
+  std::uint64_t examples = 0;
+  std::uint64_t features = 0;
+  std::uint64_t nnz = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Builds from a row-oriented matrix and labels (one per row); the
+  /// column-oriented copy is derived.  Throws std::invalid_argument on a
+  /// label count mismatch.
+  Dataset(std::string name, sparse::CsrMatrix by_row,
+          std::vector<float> labels);
+
+  const std::string& name() const noexcept { return name_; }
+
+  Index num_examples() const noexcept { return by_row_.rows(); }
+  Index num_features() const noexcept { return by_row_.cols(); }
+  Offset nnz() const noexcept { return by_row_.nnz(); }
+
+  const sparse::CsrMatrix& by_row() const noexcept { return by_row_; }
+  const sparse::CscMatrix& by_col() const noexcept { return by_col_; }
+  std::span<const float> labels() const noexcept { return labels_; }
+
+  /// ||ā_n||² for every example row (dual updates).
+  std::span<const double> row_squared_norms() const noexcept {
+    return row_norms_;
+  }
+  /// ||a_m||² for every feature column (primal updates).
+  std::span<const double> col_squared_norms() const noexcept {
+    return col_norms_;
+  }
+
+  const std::optional<PaperScale>& paper_scale() const noexcept {
+    return paper_scale_;
+  }
+  void set_paper_scale(PaperScale scale) { paper_scale_ = std::move(scale); }
+
+  /// Combined CSR+labels bytes (the footprint a GPU worker would hold).
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  std::string name_;
+  sparse::CsrMatrix by_row_;
+  sparse::CscMatrix by_col_;
+  std::vector<float> labels_;
+  std::vector<double> row_norms_;
+  std::vector<double> col_norms_;
+  std::optional<PaperScale> paper_scale_;
+};
+
+}  // namespace tpa::data

@@ -1,0 +1,67 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+
+#include "util/permutation.hpp"
+
+namespace tpa::data {
+
+Dataset take_rows(const Dataset& dataset, std::span<const Index> rows,
+                  const std::string& name_suffix) {
+  const auto& source = dataset.by_row();
+  std::vector<sparse::Offset> offsets;
+  offsets.reserve(rows.size() + 1);
+  offsets.push_back(0);
+  sparse::Offset nnz = 0;
+  for (const auto r : rows) {
+    nnz += source.row_nnz(r);
+    offsets.push_back(nnz);
+  }
+  std::vector<Index> indices;
+  std::vector<sparse::Value> values;
+  std::vector<float> labels;
+  indices.reserve(nnz);
+  values.reserve(nnz);
+  labels.reserve(rows.size());
+  for (const auto r : rows) {
+    const auto view = source.row(r);
+    indices.insert(indices.end(), view.indices.begin(), view.indices.end());
+    values.insert(values.end(), view.values.begin(), view.values.end());
+    labels.push_back(dataset.labels()[r]);
+  }
+  sparse::CsrMatrix matrix(static_cast<Index>(rows.size()), source.cols(),
+                           std::move(offsets), std::move(indices),
+                           std::move(values));
+  Dataset result(dataset.name() + name_suffix, std::move(matrix),
+                 std::move(labels));
+  if (dataset.paper_scale().has_value()) {
+    result.set_paper_scale(*dataset.paper_scale());
+  }
+  return result;
+}
+
+TrainTestSplit train_test_split(const Dataset& dataset, double train_fraction,
+                                util::Rng& rng) {
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  std::vector<Index> train_rows;
+  std::vector<Index> test_rows;
+  for (Index r = 0; r < dataset.num_examples(); ++r) {
+    if (rng.bernoulli(train_fraction)) {
+      train_rows.push_back(r);
+    } else {
+      test_rows.push_back(r);
+    }
+  }
+  return TrainTestSplit{take_rows(dataset, train_rows, "_train"),
+                        take_rows(dataset, test_rows, "_test")};
+}
+
+Dataset sample_rows(const Dataset& dataset, Index count, util::Rng& rng) {
+  count = std::min(count, dataset.num_examples());
+  auto order = util::random_permutation(dataset.num_examples(), rng);
+  std::vector<Index> rows(order.begin(), order.begin() + count);
+  std::sort(rows.begin(), rows.end());
+  return take_rows(dataset, rows, "_sample");
+}
+
+}  // namespace tpa::data

@@ -1,0 +1,33 @@
+// Train/test splitting and row subsampling.  The paper's webspam experiment
+// uses a 75/25 uniform train/test split of the full corpus; these utilities
+// reproduce that preprocessing step on any Dataset.
+#pragma once
+
+#include <utility>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace tpa::data {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Splits examples uniformly at random: each row goes to train with
+/// probability `train_fraction` (clamped to [0,1]).  Column count is
+/// preserved so models transfer between the halves.
+TrainTestSplit train_test_split(const Dataset& dataset, double train_fraction,
+                                util::Rng& rng);
+
+/// Uniform random subsample of `count` rows without replacement (count is
+/// clamped to the dataset size).
+Dataset sample_rows(const Dataset& dataset, Index count, util::Rng& rng);
+
+/// Extracts the given rows (indices into `dataset`, any order, no
+/// duplicates required) into a new Dataset with the same columns.
+Dataset take_rows(const Dataset& dataset, std::span<const Index> rows,
+                  const std::string& name_suffix);
+
+}  // namespace tpa::data

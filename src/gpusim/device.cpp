@@ -1,0 +1,52 @@
+#include "gpusim/device.hpp"
+
+namespace tpa::gpusim {
+
+DeviceSpec DeviceSpec::quadro_m4000() {
+  DeviceSpec spec;
+  spec.name = "Quadro M4000";
+  spec.num_sms = 13;
+  spec.max_blocks_per_sm = 16;
+  spec.threads_per_block = 128;
+  spec.fp32_tflops = 2.57;
+  spec.mem_bandwidth_gbps = 192.0;
+  // mem_efficiency and block_sync_cycles are calibrated once so the
+  // single-GPU webspam speed-ups over sequential SCD land in the paper's
+  // band (primal 14x / dual 10x, Figs. 1b / 2b); see DESIGN.md §5.
+  spec.mem_efficiency = 0.60;
+  spec.l2_capacity_bytes = 2ULL << 20;
+  spec.l2_bandwidth_gbps = 500.0;
+  spec.mem_capacity_bytes = 8ULL << 30;
+  spec.kernel_launch_overhead_s = 8e-6;
+  spec.clock_ghz = 0.78;
+  spec.block_sync_cycles = 300.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::titan_x() {
+  DeviceSpec spec;
+  spec.name = "GTX Titan X";
+  spec.num_sms = 24;
+  spec.max_blocks_per_sm = 16;
+  spec.threads_per_block = 128;
+  spec.fp32_tflops = 6.1;
+  spec.mem_bandwidth_gbps = 336.0;
+  // Calibrated to the paper's 25x (primal) / 35x (dual) single-GPU band.
+  spec.mem_efficiency = 0.80;
+  spec.l2_capacity_bytes = 3ULL << 20;
+  spec.l2_bandwidth_gbps = 1000.0;
+  spec.mem_capacity_bytes = 12ULL << 30;
+  spec.kernel_launch_overhead_s = 8e-6;
+  spec.clock_ghz = 1.0;
+  spec.block_sync_cycles = 300.0;
+  return spec;
+}
+
+double PcieLink::transfer_seconds(std::size_t bytes, bool pinned) const
+    noexcept {
+  const double bandwidth =
+      (pinned ? pinned_bandwidth_gbps : pageable_bandwidth_gbps) * 1e9;
+  return latency_s + static_cast<double>(bytes) / bandwidth;
+}
+
+}  // namespace tpa::gpusim

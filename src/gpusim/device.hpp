@@ -1,0 +1,78 @@
+// GPU device models.
+//
+// The paper runs TPA-SCD on an NVIDIA Quadro M4000 and a GeForce GTX Titan X
+// (both Maxwell).  No GPU is available in this environment, so the library
+// ships a *functional simulator*: convergence-relevant semantics (block
+// asynchrony, intra-block float reduction order, atomic write-back) are
+// executed exactly, while runtime is predicted by an analytic model
+// parameterised by the published specifications below.  DESIGN.md §2/§5
+// documents the substitution and calibration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tpa::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+  int num_sms = 0;                  // streaming multiprocessors
+  int max_blocks_per_sm = 0;        // resident thread blocks per SM
+  int threads_per_block = 0;        // warp-multiple block size
+  double fp32_tflops = 0.0;         // peak single-precision throughput
+  double mem_bandwidth_gbps = 0.0;  // GB/s peak global-memory bandwidth
+  double mem_efficiency = 0.0;      // achieved fraction for sparse streams
+  std::size_t l2_capacity_bytes = 0;  // on-chip L2 (absorbs shared-vector
+                                      // traffic when the vector fits)
+  double l2_bandwidth_gbps = 0.0;
+  std::size_t mem_capacity_bytes = 0;
+  double kernel_launch_overhead_s = 0.0;  // per kernel launch
+  double clock_ghz = 1.0;                 // SM clock
+  /// Per-thread-block execution cost that does not overlap with streaming:
+  /// the shared-memory tree reduction, its barriers and the block prologue,
+  /// expressed in SM cycles.  Blocks issue across SMs in parallel, so the
+  /// epoch-level cost is  num_blocks * cycles / (num_sms * clock)  — a
+  /// throughput term, not a latency term (resident blocks hide each other's
+  /// barriers).
+  double block_sync_cycles = 300.0;
+
+  /// Number of thread blocks that can be resident at once (occupancy limit).
+  int resident_blocks() const noexcept {
+    return num_sms * max_blocks_per_sm;
+  }
+
+  /// Effective asynchrony window for coordinate updates: the expected number
+  /// of updates whose atomic write-back has not yet landed when a block
+  /// reads the shared vector.  This is far smaller than resident_blocks():
+  /// resident blocks spend most of their lifetime stalled on memory while
+  /// their predecessors' atomics drain continuously, so a block's read
+  /// misses only the writes of blocks actively executing alongside it —
+  /// O(SM count), not O(occupancy).  Modelled as 2 blocks per SM.
+  int async_staleness() const noexcept { return 2 * num_sms; }
+
+  /// True if a dataset of `bytes` fits in device memory (the paper's
+  /// motivation for distributing: webspam fits in 8 GB, criteo does not).
+  bool fits(std::size_t bytes) const noexcept {
+    return bytes <= mem_capacity_bytes;
+  }
+
+  /// NVIDIA Quadro M4000: 13 SMs, 2.57 TFLOPS, 192 GB/s, 8 GB.
+  static DeviceSpec quadro_m4000();
+
+  /// NVIDIA GeForce GTX Titan X (Maxwell): 24 SMs, 6.1 TFLOPS, 336 GB/s,
+  /// 12 GB.
+  static DeviceSpec titan_x();
+};
+
+/// PCIe gen3 x16 host<->device link.  The paper pins host memory to reach
+/// full throughput; pageable transfers are modelled slower.
+struct PcieLink {
+  double pinned_bandwidth_gbps = 11.0;
+  double pageable_bandwidth_gbps = 6.0;
+  double latency_s = 10e-6;
+
+  double transfer_seconds(std::size_t bytes, bool pinned) const noexcept;
+};
+
+}  // namespace tpa::gpusim

@@ -1,0 +1,55 @@
+#include "gpusim/timing_model.hpp"
+
+#include <algorithm>
+
+namespace tpa::gpusim {
+
+std::uint64_t GpuTimingModel::matrix_bytes(const EpochWorkload& w) const
+    noexcept {
+  // The matrix is streamed twice per epoch — once for the inner products,
+  // once for the write-back — at 4 B index + 4 B value per entry per pass.
+  return w.nnz * 16;
+}
+
+std::uint64_t GpuTimingModel::shared_vector_bytes(const EpochWorkload& w)
+    const noexcept {
+  // Per entry: a 4 B gather in the read pass and an 8 B atomic
+  // read-modify-write in the write pass.
+  return w.nnz * 12;
+}
+
+std::uint64_t GpuTimingModel::epoch_bytes(const EpochWorkload& w) const
+    noexcept {
+  return matrix_bytes(w) + shared_vector_bytes(w);
+}
+
+std::uint64_t GpuTimingModel::epoch_flops(const EpochWorkload& w) const
+    noexcept {
+  // One FMA per entry in the inner product, one multiply-add in write-back.
+  return w.nnz * 4;
+}
+
+double GpuTimingModel::epoch_seconds(const EpochWorkload& w) const noexcept {
+  const double dram_bw =
+      spec_.mem_bandwidth_gbps * 1e9 * spec_.mem_efficiency;
+  // Shared-vector traffic is absorbed by L2 when the vector fits on chip.
+  // This asymmetry is what makes the M4000 faster on the primal (w = 1 MB
+  // fits its 2 MB L2, w̄ = 2.7 MB does not) while the Titan X's 3 MB L2
+  // holds both — the reversal visible between the paper's Figs. 1b and 2b.
+  const bool shared_fits_l2 =
+      w.shared_dim * sizeof(float) <= spec_.l2_capacity_bytes;
+  const double shared_bw =
+      shared_fits_l2 ? spec_.l2_bandwidth_gbps * 1e9 : dram_bw;
+  const double mem_time =
+      static_cast<double>(matrix_bytes(w)) / dram_bw +
+      static_cast<double>(shared_vector_bytes(w)) / shared_bw;
+  const double flop_time =
+      static_cast<double>(epoch_flops(w)) / (spec_.fp32_tflops * 1e12);
+  const double overhead =
+      static_cast<double>(w.num_coordinates) * spec_.block_sync_cycles /
+          (spec_.num_sms * spec_.clock_ghz * 1e9) +
+      spec_.kernel_launch_overhead_s;
+  return std::max(mem_time, flop_time) + overhead;
+}
+
+}  // namespace tpa::gpusim

@@ -1,0 +1,55 @@
+// Analytic runtime model for one TPA-SCD epoch on a simulated device.
+//
+// An epoch streams the whole sparse matrix once for the inner products and
+// once for the atomic write-back, touching the shared vector on both passes;
+// on Maxwell-class GPUs this workload is memory-bandwidth-bound, with
+// per-block scheduling and kernel-launch overheads becoming visible when
+// coordinates are many and rows/columns are short.  The model is
+//
+//   t = max(bytes_moved / (BW * eta),  flops / peak_flops)
+//       + num_blocks * block_overhead + launch_overhead
+//
+// with eta calibrated once per device against the paper's single-GPU
+// speed-ups and then reused unchanged for the distributed experiments
+// (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+
+namespace tpa::gpusim {
+
+struct EpochWorkload {
+  std::uint64_t nnz = 0;          // stored entries visited this epoch
+  std::uint64_t num_coordinates = 0;  // thread blocks launched
+  std::uint64_t shared_dim = 0;   // length of the shared vector
+};
+
+class GpuTimingModel {
+ public:
+  explicit GpuTimingModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// DRAM bytes for streaming the sparse matrix (both passes).
+  std::uint64_t matrix_bytes(const EpochWorkload& w) const noexcept;
+
+  /// Bytes of shared-vector traffic (gathers + atomic RMWs); served from L2
+  /// when the shared vector fits on chip.
+  std::uint64_t shared_vector_bytes(const EpochWorkload& w) const noexcept;
+
+  /// Total bytes moved by one epoch.
+  std::uint64_t epoch_bytes(const EpochWorkload& w) const noexcept;
+
+  /// FP32 operations of one epoch (multiply-add on each entry, twice).
+  std::uint64_t epoch_flops(const EpochWorkload& w) const noexcept;
+
+  /// Simulated seconds for one full epoch.
+  double epoch_seconds(const EpochWorkload& w) const noexcept;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace tpa::gpusim

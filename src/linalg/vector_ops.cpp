@@ -1,0 +1,111 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tpa::linalg {
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) { return dot(x, x); }
+double squared_norm(std::span<const double> x) { return dot(x, x); }
+
+void axpy(double alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = static_cast<float>(y[i] + alpha * x[i]);
+  }
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, double alpha) {
+  for (auto& v : x) v = static_cast<float>(v * alpha);
+}
+
+double sparse_dot(const SparseVectorView& a, std::span<const float> dense) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    acc += static_cast<double>(a.values[k]) *
+           static_cast<double>(dense[a.indices[k]]);
+  }
+  return acc;
+}
+
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const float> dense) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    const auto i = a.indices[k];
+    acc += static_cast<double>(a.values[k]) *
+           (static_cast<double>(target[i]) - static_cast<double>(dense[i]));
+  }
+  return acc;
+}
+
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<float> dense) {
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    const auto i = a.indices[k];
+    dense[i] = static_cast<float>(dense[i] + alpha * a.values[k]);
+  }
+}
+
+double max_abs_diff(std::span<const float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(x[i]) - y[i]));
+  }
+  return worst;
+}
+
+double distance(std::span<const float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(x[i]) - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<float> csr_matvec(const sparse::CsrMatrix& a,
+                              std::span<const float> x) {
+  assert(x.size() == a.cols());
+  std::vector<float> y(a.rows(), 0.0F);
+  for (sparse::Index r = 0; r < a.rows(); ++r) {
+    y[r] = static_cast<float>(sparse_dot(a.row(r), x));
+  }
+  return y;
+}
+
+std::vector<float> csr_matvec_transposed(const sparse::CsrMatrix& a,
+                                         std::span<const float> x) {
+  assert(x.size() == a.rows());
+  std::vector<float> y(a.cols(), 0.0F);
+  for (sparse::Index r = 0; r < a.rows(); ++r) {
+    sparse_axpy(x[r], a.row(r), y);
+  }
+  return y;
+}
+
+}  // namespace tpa::linalg

@@ -1,0 +1,61 @@
+// Dense and sparse-dense vector kernels.
+//
+// The hot loops of every solver are the two passes over a sparse coordinate
+// vector against the dense shared vector: the partial inner product
+// ⟨y − w, a⟩ and the scatter w += a·Δ (the paper's "update shared vector"
+// step).  Storage is float, accumulation is double, matching the paper's
+// 32-bit data with numerically-safe objective evaluation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tpa::linalg {
+
+using sparse::SparseVectorView;
+
+/// ⟨x, y⟩ accumulated in double.
+double dot(std::span<const float> x, std::span<const float> y);
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// ||x||² accumulated in double.
+double squared_norm(std::span<const float> x);
+double squared_norm(std::span<const double> x);
+
+/// y += alpha * x (element-wise, sizes must match).
+void axpy(double alpha, std::span<const float> x, std::span<float> y);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(std::span<float> x, double alpha);
+
+/// Σₖ a.values[k] * dense[a.indices[k]]  — sparse·dense inner product.
+double sparse_dot(const SparseVectorView& a, std::span<const float> dense);
+
+/// Σₖ a.values[k] * (target[a.indices[k]] - dense[a.indices[k]]) — fused
+/// residual inner product ⟨target − dense, a⟩ used by the coordinate update.
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const float> dense);
+
+/// dense[a.indices[k]] += alpha * a.values[k] — sparse scatter-add.
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<float> dense);
+
+/// max_i |x_i - y_i|.
+double max_abs_diff(std::span<const float> x, std::span<const float> y);
+
+/// Euclidean distance ||x - y||.
+double distance(std::span<const float> x, std::span<const float> y);
+
+/// y = A·x for CSR A (double accumulation, float output).
+std::vector<float> csr_matvec(const sparse::CsrMatrix& a,
+                              std::span<const float> x);
+
+/// y = Aᵀ·x for CSR A.
+std::vector<float> csr_matvec_transposed(const sparse::CsrMatrix& a,
+                                         std::span<const float> x);
+
+}  // namespace tpa::linalg

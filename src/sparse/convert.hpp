@@ -1,0 +1,33 @@
+// Format conversions between COO, CSR and CSC.
+//
+// The solvers need the same matrix in both compressed orientations (columns
+// for the primal updates, rows for the dual updates); these converters are
+// single-pass counting-sort implementations, O(nnz + rows + cols).
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace tpa::sparse {
+
+/// Builds a CSR matrix from coordinate entries.  Duplicates are summed.
+CsrMatrix coo_to_csr(const CooBuilder& coo);
+
+/// Builds a CSC matrix from coordinate entries.  Duplicates are summed.
+CscMatrix coo_to_csc(const CooBuilder& coo);
+
+/// Re-orients a CSR matrix into CSC (same logical matrix).
+CscMatrix csr_to_csc(const CsrMatrix& csr);
+
+/// Re-orients a CSC matrix into CSR (same logical matrix).
+CsrMatrix csc_to_csr(const CscMatrix& csc);
+
+/// Transpose: returns B = Aᵀ in CSR form (rows of B are columns of A).
+CsrMatrix transpose(const CsrMatrix& csr);
+
+/// Materialises the matrix as a dense row-major buffer (tests / tiny data
+/// only; throws std::length_error beyond 64M entries).
+std::vector<double> to_dense(const CsrMatrix& csr);
+
+}  // namespace tpa::sparse

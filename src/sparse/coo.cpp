@@ -1,0 +1,36 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpa::sparse {
+
+CooBuilder::CooBuilder(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+void CooBuilder::add(Index row, Index col, Value value) {
+  assert(row < rows_);
+  assert(col < cols_);
+  entries_.push_back(Triplet{row, col, value});
+}
+
+void CooBuilder::coalesce() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  std::vector<Triplet> merged;
+  merged.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    if (!merged.empty() && merged.back().row == entry.row &&
+        merged.back().col == entry.col) {
+      merged.back().value += entry.value;
+    } else {
+      merged.push_back(entry);
+    }
+  }
+  std::erase_if(merged, [](const Triplet& t) { return t.value == 0.0F; });
+  entries_ = std::move(merged);
+}
+
+}  // namespace tpa::sparse

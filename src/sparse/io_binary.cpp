@@ -1,0 +1,114 @@
+#include "sparse/io_binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tpa::sparse {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'P', 'A', '1'};
+
+struct Header {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t nnz = 0;
+  std::uint64_t labels = 0;
+};
+
+void write_raw(std::ostream& out, const void* data, std::size_t bytes,
+               std::uint64_t& checksum) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("binary write failed");
+  checksum = fnv1a(data, bytes, checksum);
+}
+
+void read_raw(std::istream& in, void* data, std::size_t bytes,
+              std::uint64_t& checksum) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    throw std::runtime_error("binary read truncated");
+  }
+  checksum = fnv1a(data, bytes, checksum);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* bytes_ptr = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= bytes_ptr[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void write_binary(std::ostream& out, const LabeledMatrix& data) {
+  out.write(kMagic, sizeof(kMagic));
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  const Header header{data.matrix.rows(), data.matrix.cols(),
+                      data.matrix.nnz(), data.labels.size()};
+  write_raw(out, &header, sizeof(header), checksum);
+  write_raw(out, data.matrix.row_offsets().data(),
+            data.matrix.row_offsets().size() * sizeof(Offset), checksum);
+  write_raw(out, data.matrix.col_indices().data(),
+            data.matrix.col_indices().size() * sizeof(Index), checksum);
+  write_raw(out, data.matrix.values().data(),
+            data.matrix.values().size() * sizeof(Value), checksum);
+  write_raw(out, data.labels.data(), data.labels.size() * sizeof(float),
+            checksum);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) throw std::runtime_error("binary write failed");
+}
+
+void write_binary_file(const std::string& path, const LabeledMatrix& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_binary(out, data);
+}
+
+LabeledMatrix read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("binary read: bad magic");
+  }
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  Header header;
+  read_raw(in, &header, sizeof(header), checksum);
+
+  std::vector<Offset> offsets(header.rows + 1);
+  std::vector<Index> indices(header.nnz);
+  std::vector<Value> values(header.nnz);
+  std::vector<float> labels(header.labels);
+  read_raw(in, offsets.data(), offsets.size() * sizeof(Offset), checksum);
+  read_raw(in, indices.data(), indices.size() * sizeof(Index), checksum);
+  read_raw(in, values.data(), values.size() * sizeof(Value), checksum);
+  read_raw(in, labels.data(), labels.size() * sizeof(float), checksum);
+
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(stored)) {
+    throw std::runtime_error("binary read truncated (checksum)");
+  }
+  if (stored != checksum) {
+    throw std::runtime_error("binary read: checksum mismatch");
+  }
+  return LabeledMatrix{
+      CsrMatrix(static_cast<Index>(header.rows),
+                static_cast<Index>(header.cols), std::move(offsets),
+                std::move(indices), std::move(values)),
+      std::move(labels)};
+}
+
+LabeledMatrix read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_binary(in);
+}
+
+}  // namespace tpa::sparse

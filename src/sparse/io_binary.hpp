@@ -1,0 +1,29 @@
+// Fast binary serialization of labelled CSR matrices.
+//
+// Layout: magic "TPA1", little-endian header (rows, cols, nnz, label count),
+// raw arrays, then an FNV-1a checksum of everything after the magic.  Used by
+// the bench harness to cache generated datasets between runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/io_svmlight.hpp"
+
+namespace tpa::sparse {
+
+/// Serializes `data` to a binary stream; throws std::runtime_error on IO
+/// failure.
+void write_binary(std::ostream& out, const LabeledMatrix& data);
+void write_binary_file(const std::string& path, const LabeledMatrix& data);
+
+/// Deserializes; throws std::runtime_error on truncation, bad magic, or
+/// checksum mismatch.
+LabeledMatrix read_binary(std::istream& in);
+LabeledMatrix read_binary_file(const std::string& path);
+
+/// FNV-1a 64-bit over a byte range (exposed for tests).
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace tpa::sparse

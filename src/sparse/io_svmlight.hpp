@@ -1,0 +1,38 @@
+// SVMLight / LIBSVM text format:  one example per line,
+//   <label> <index>:<value> <index>:<value> ...
+// with 1-based feature indices.  This is the interchange format in which the
+// paper's datasets (webspam, criteo) are distributed, so users can point the
+// library at real files when they have them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tpa::sparse {
+
+struct LabeledMatrix {
+  CsrMatrix matrix;
+  std::vector<float> labels;
+};
+
+/// Parses svmlight text from a stream.  `num_features` forces the column
+/// count (0 = infer as max index seen).  Lines that are empty or start with
+/// '#' are skipped.  Malformed entries throw std::runtime_error with the
+/// line number.
+LabeledMatrix read_svmlight(std::istream& in, Index num_features = 0);
+
+/// Convenience file wrapper; throws std::runtime_error if unreadable.
+LabeledMatrix read_svmlight_file(const std::string& path,
+                                 Index num_features = 0);
+
+/// Writes labels + matrix in svmlight format (1-based indices, %.7g values).
+void write_svmlight(std::ostream& out, const CsrMatrix& matrix,
+                    std::span<const float> labels);
+
+void write_svmlight_file(const std::string& path, const CsrMatrix& matrix,
+                         std::span<const float> labels);
+
+}  // namespace tpa::sparse

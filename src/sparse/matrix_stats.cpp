@@ -1,0 +1,55 @@
+#include "sparse/matrix_stats.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace tpa::sparse {
+
+MatrixStats compute_stats(const CsrMatrix& matrix) {
+  MatrixStats stats;
+  stats.rows = matrix.rows();
+  stats.cols = matrix.cols();
+  stats.nnz = matrix.nnz();
+  const double cells = static_cast<double>(matrix.rows()) *
+                       static_cast<double>(matrix.cols());
+  stats.density = cells > 0 ? static_cast<double>(matrix.nnz()) / cells : 0.0;
+
+  std::vector<bool> col_seen(matrix.cols(), false);
+  for (Index r = 0; r < matrix.rows(); ++r) {
+    const auto count = matrix.row_nnz(r);
+    stats.row_nnz.add(static_cast<double>(count));
+    if (count == 0) ++stats.empty_rows;
+    const auto view = matrix.row(r);
+    for (const auto c : view.indices) col_seen[c] = true;
+  }
+  for (Index c = 0; c < matrix.cols(); ++c) {
+    if (col_seen[c]) ++stats.populated_cols;
+  }
+
+  // Footprints assume the 32-bit value / 32-bit index layout of the paper's
+  // GPU implementation plus one offset array for the compressed dimension.
+  const std::size_t per_entry = sizeof(Value) + sizeof(Index);
+  stats.csr_bytes = static_cast<std::size_t>(matrix.nnz()) * per_entry +
+                    (static_cast<std::size_t>(matrix.rows()) + 1) *
+                        sizeof(Offset);
+  stats.csc_bytes = static_cast<std::size_t>(matrix.nnz()) * per_entry +
+                    (static_cast<std::size_t>(matrix.cols()) + 1) *
+                        sizeof(Offset);
+  return stats;
+}
+
+std::string MatrixStats::summary() const {
+  std::ostringstream out;
+  out << rows << " x " << cols << ", nnz=" << nnz << " (density "
+      << density << "), nnz/row mean=" << row_nnz.mean()
+      << " max=" << row_nnz.max() << ", csr=" << csr_bytes / (1024.0 * 1024.0)
+      << " MiB";
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const MatrixStats& stats) {
+  return out << stats.summary();
+}
+
+}  // namespace tpa::sparse

@@ -1,0 +1,33 @@
+// Dataset summaries: density, nnz distributions and memory footprints.
+// Used by the timing models (which are parameterised by nnz, N, M) and by
+// bench reporting to echo the dataset characteristics alongside results.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "util/stats.hpp"
+
+namespace tpa::sparse {
+
+struct MatrixStats {
+  Index rows = 0;
+  Index cols = 0;
+  Offset nnz = 0;
+  double density = 0.0;            // nnz / (rows*cols)
+  util::RunningStats row_nnz;      // nonzeros per row
+  Index empty_rows = 0;
+  Index populated_cols = 0;        // columns with at least one entry
+  std::size_t csr_bytes = 0;       // 4-byte values + 4-byte indices + offsets
+  std::size_t csc_bytes = 0;
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+};
+
+MatrixStats compute_stats(const CsrMatrix& matrix);
+
+std::ostream& operator<<(std::ostream& out, const MatrixStats& stats);
+
+}  // namespace tpa::sparse

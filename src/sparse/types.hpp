@@ -1,0 +1,26 @@
+// Shared scalar / index types for the sparse-matrix substrate.
+//
+// The paper stores data and model in 32-bit floats; we follow that for matrix
+// values and model weights, while all objective / gap computations accumulate
+// in double.  Indices are 32-bit (sufficient for the scaled experiments;
+// offsets are 64-bit so total nnz may exceed 2^32).
+#pragma once
+
+#include <cstdint>
+
+namespace tpa::sparse {
+
+using Value = float;
+using Index = std::uint32_t;
+using Offset = std::uint64_t;
+
+/// One matrix entry in coordinate form.
+struct Triplet {
+  Index row = 0;
+  Index col = 0;
+  Value value = 0.0F;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+}  // namespace tpa::sparse

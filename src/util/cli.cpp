@@ -1,0 +1,136 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace tpa::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_text) {
+  specs_.push_back(Spec{name, help, default_text, /*is_flag=*/false});
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  specs_.push_back(Spec{name, help, "", /*is_flag=*/true});
+}
+
+const ArgParser::Spec* ArgParser::find_spec(const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    const Spec* spec = find_spec(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown option --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (spec->is_flag) {
+      values_.emplace_back(name, has_inline_value ? value : "true");
+      continue;
+    }
+    if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s expects a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_.emplace_back(name, std::move(value));
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return raw(name).has_value();
+}
+
+std::optional<std::string> ArgParser::raw(const std::string& name) const {
+  // Last occurrence wins so that scripted callers can append overrides.
+  std::optional<std::string> result;
+  for (const auto& [key, value] : values_) {
+    if (key == name) result = value;
+  }
+  return result;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  const auto value = raw(name);
+  return value.has_value() ? *value : fallback;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto value = raw(name);
+  if (!value.has_value()) return fallback;
+  try {
+    return std::stoll(*value);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "option --%s: '%s' is not an integer; using %lld\n",
+                 name.c_str(), value->c_str(),
+                 static_cast<long long>(fallback));
+    return fallback;
+  }
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto value = raw(name);
+  if (!value.has_value()) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "option --%s: '%s' is not a number; using %g\n",
+                 name.c_str(), value->c_str(), fallback);
+    return fallback;
+  }
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  const auto value = raw(name);
+  if (!value.has_value()) return fallback;
+  return *value == "true" || *value == "1" || *value == "yes" ||
+         *value == "on" || value->empty();
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& spec : specs_) {
+    out << "  --" << spec.name;
+    if (!spec.is_flag) out << " <value>";
+    out << "\n      " << spec.help;
+    if (!spec.default_text.empty()) out << " (default: " << spec.default_text
+                                        << ")";
+    out << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace tpa::util

@@ -1,0 +1,60 @@
+// Small command-line argument parser for benches and examples.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms, typed
+// accessors with defaults, required options, and generated --help text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tpa::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declares an option (for --help).  `default_text` is shown to the user;
+  /// it does not set a value.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_text = "");
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false (and prints usage) on unknown options,
+  /// missing values, or --help.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage/help text.
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    std::string default_text;
+    bool is_flag = false;
+  };
+
+  const Spec* find_spec(const std::string& name) const;
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tpa::util

@@ -1,0 +1,56 @@
+// Minimal leveled logging.  Libraries log sparingly (warnings and above);
+// benches and examples raise the level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tpa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr with a level tag.  Thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive); returns
+/// kInfo for unknown strings.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace tpa::util
+
+#define TPA_LOG(level)                              \
+  if (static_cast<int>(level) <                     \
+      static_cast<int>(::tpa::util::log_level())) { \
+  } else                                            \
+    ::tpa::util::detail::LogLine(level)
+
+#define TPA_LOG_DEBUG TPA_LOG(::tpa::util::LogLevel::kDebug)
+#define TPA_LOG_INFO TPA_LOG(::tpa::util::LogLevel::kInfo)
+#define TPA_LOG_WARN TPA_LOG(::tpa::util::LogLevel::kWarn)
+#define TPA_LOG_ERROR TPA_LOG(::tpa::util::LogLevel::kError)

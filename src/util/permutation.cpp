@@ -1,0 +1,43 @@
+#include "util/permutation.hpp"
+
+#include <numeric>
+
+namespace tpa::util {
+
+std::vector<std::uint32_t> identity_permutation(std::size_t n) {
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  return order;
+}
+
+void shuffle(std::span<std::uint32_t> values, Rng& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_index(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng) {
+  auto order = identity_permutation(n);
+  shuffle(order, rng);
+  return order;
+}
+
+bool is_permutation(std::span<const std::uint32_t> values) {
+  std::vector<bool> seen(values.size(), false);
+  for (const auto v : values) {
+    if (v >= values.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+EpochPermutation::EpochPermutation(std::size_t n, Rng rng)
+    : order_(identity_permutation(n)), rng_(rng) {}
+
+std::span<const std::uint32_t> EpochPermutation::next() {
+  shuffle(order_, rng_);
+  return order_;
+}
+
+}  // namespace tpa::util

@@ -1,0 +1,42 @@
+// Random permutations.  Stochastic coordinate descent visits coordinates in a
+// freshly shuffled order each epoch (Algorithm 1 of the paper); this header
+// provides the deterministic Fisher-Yates machinery used everywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tpa::util {
+
+/// Returns the identity permutation [0, 1, ..., n-1].
+std::vector<std::uint32_t> identity_permutation(std::size_t n);
+
+/// Shuffles `values` in place with Fisher-Yates using `rng`.
+void shuffle(std::span<std::uint32_t> values, Rng& rng);
+
+/// Returns a uniformly random permutation of [0, n).
+std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng);
+
+/// True iff `values` is a permutation of [0, values.size()).
+bool is_permutation(std::span<const std::uint32_t> values);
+
+/// Reusable permutation buffer: avoids reallocating every epoch.  Call
+/// `next()` to reshuffle in place and obtain a view of the new order.
+class EpochPermutation {
+ public:
+  EpochPermutation(std::size_t n, Rng rng);
+
+  /// Reshuffles and returns a view valid until the next call.
+  std::span<const std::uint32_t> next();
+
+  std::size_t size() const noexcept { return order_.size(); }
+
+ private:
+  std::vector<std::uint32_t> order_;
+  Rng rng_;
+};
+
+}  // namespace tpa::util

@@ -1,0 +1,148 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tpa::util {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64_next(sm);
+  // xoshiro state must not be all-zero; splitmix64 cannot produce four zero
+  // outputs in a row, so no further handling is required.
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [lo, hi]; fall back to raw output.
+  if (span == 0) return static_cast<std::int64_t>((*this)());
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on (0,1] uniforms to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  assert(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+  assert(rate > 0.0);
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  assert(n > 0);
+  assert(s > 0.0);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (Hörmann & Derflinger).  We sample a
+  // continuous envelope of 1/x^s on [1, n+1) and accept with the ratio of the
+  // discrete mass to the envelope.
+  const double one_minus_s = 1.0 - s;
+  auto h_integral = [&](double x) {
+    // Integral of 1/t^s from 1 to x (log form when s == 1).
+    if (std::abs(one_minus_s) < 1e-12) return std::log(x);
+    return (std::pow(x, one_minus_s) - 1.0) / one_minus_s;
+  };
+  auto h_integral_inv = [&](double v) {
+    if (std::abs(one_minus_s) < 1e-12) return std::exp(v);
+    return std::pow(1.0 + v * one_minus_s, 1.0 / one_minus_s);
+  };
+  const double total = h_integral(static_cast<double>(n) + 1.0);
+  for (;;) {
+    const double u = uniform() * total;
+    const double x = h_integral_inv(u);
+    auto k = static_cast<std::uint64_t>(x);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double ratio =
+        std::pow(static_cast<double>(k), -s) /
+        std::pow(x, -s);  // discrete mass at k over envelope density at x
+    if (uniform() <= ratio) return k - 1;
+  }
+}
+
+Rng Rng::split() noexcept { return Rng((*this)()); }
+
+}  // namespace tpa::util

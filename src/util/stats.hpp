@@ -1,0 +1,49 @@
+// Streaming and batch descriptive statistics used by dataset generators,
+// matrix summaries and bench reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tpa::util {
+
+/// Welford streaming accumulator: numerically stable mean / variance along
+/// with min / max, without storing the samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0, 1]) of `values` by linear interpolation
+/// between order statistics.  Copies and sorts internally; empty input -> 0.
+double quantile(std::span<const double> values, double q);
+
+/// Convenience: median of `values`.
+double median(std::span<const double> values);
+
+/// Builds a histogram of `values` with `bins` equal-width buckets over
+/// [min, max]; returns per-bucket counts.  Empty input -> all-zero counts.
+std::vector<std::size_t> histogram(std::span<const double> values,
+                                   std::size_t bins);
+
+}  // namespace tpa::util

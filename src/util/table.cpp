@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace tpa::util {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void Table::begin_row() { rows_.emplace_back(); }
+
+void Table::add_cell(std::string text) {
+  assert(!rows_.empty());
+  assert(rows_.back().size() < columns_.size());
+  rows_.back().push_back(std::move(text));
+}
+
+void Table::add_number(double value) { add_cell(format_number(value)); }
+
+void Table::add_integer(std::int64_t value) {
+  add_cell(std::to_string(value));
+}
+
+std::string Table::format_number(double value) {
+  char buf[48];
+  const double mag = std::abs(value);
+  if (value == 0.0) {
+    return "0";
+  }
+  if (mag >= 1e-3 && mag < 1e5) {
+    std::snprintf(buf, sizeof(buf), "%.4g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3e", value);
+  }
+  return buf;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << cell;
+      if (c + 1 < columns_.size()) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out << ',';
+      if (c < cells.size()) out << cells[c];
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tpa::util

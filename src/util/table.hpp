@@ -1,0 +1,42 @@
+// Aligned-column table output for bench harnesses: each figure reproduction
+// prints its series both as a human-readable table and (optionally) CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tpa::util {
+
+/// Collects rows of string cells under named columns, then renders either an
+/// aligned text table or CSV.  Numeric helpers format with sensible
+/// precision for convergence data (short scientific for small magnitudes).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  void begin_row();
+  void add_cell(std::string text);
+  void add_number(double value);
+  void add_integer(std::int64_t value);
+
+  /// Renders with padded columns to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our content) to `out`.
+  void print_csv(std::ostream& out) const;
+
+  /// Formats a double compactly: scientific for |v| outside [1e-3, 1e5).
+  static std::string format_number(double value);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tpa::util

@@ -1,0 +1,43 @@
+// Wall-clock timing.  All solvers report both real elapsed time (from
+// WallTimer) and simulated time (from the hardware timing models); benches
+// make clear which is which.
+#pragma once
+
+#include <chrono>
+
+namespace tpa::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    const auto now = Clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the elapsed lifetime of the scope to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (sink_ != nullptr) *sink_ += timer_.seconds();
+  }
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace tpa::util

@@ -1,0 +1,183 @@
+// Adaptive aggregation: the closed-form gamma* must beat any grid-searched
+// gamma along the aggregated update direction — the defining property of
+// Algorithm 4 (verified for both formulations, against the objective as
+// defined in eqs. (1)/(3), which also pins down the paper's two printed
+// typos; see aggregation.hpp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/aggregation.hpp"
+#include "core/ridge_problem.hpp"
+#include "data/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace tpa::cluster {
+namespace {
+
+using core::Formulation;
+using core::RidgeProblem;
+
+data::Dataset dataset() {
+  data::DenseGaussianConfig config;
+  config.num_examples = 30;
+  config.num_features = 12;
+  return data::make_dense_gaussian(config);
+}
+
+TEST(Aggregation, NamesModes) {
+  EXPECT_STREQ(aggregation_name(AggregationMode::kAveraging), "averaging");
+  EXPECT_STREQ(aggregation_name(AggregationMode::kAdaptive), "adaptive");
+}
+
+TEST(Aggregation, ZeroDirectionFallsBack) {
+  EXPECT_EQ(optimal_gamma_primal({}, 100.0, 0.1, 0.25), 0.25);
+  EXPECT_EQ(optimal_gamma_dual({}, 100.0, 0.1, 0.125), 0.125);
+}
+
+class GammaOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GammaOptimality, PrimalGammaMinimisesObjectiveAlongDirection) {
+  const auto data = dataset();
+  const RidgeProblem problem(data, 0.05);
+  util::Rng rng(GetParam());
+
+  // A random current point and a random update direction.
+  std::vector<float> beta(problem.num_features());
+  std::vector<float> dbeta(problem.num_features());
+  for (auto& b : beta) b = static_cast<float>(rng.normal());
+  for (auto& d : dbeta) d = static_cast<float>(rng.normal());
+  const auto w = linalg::csr_matvec(data.by_row(), beta);
+  const auto dw = linalg::csr_matvec(data.by_row(), dbeta);
+
+  PrimalGammaTerms terms;
+  const auto labels = data.labels();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    terms.y_minus_w_dot_dw +=
+        (static_cast<double>(labels[i]) - w[i]) * dw[i];
+    terms.dw_sq += static_cast<double>(dw[i]) * dw[i];
+  }
+  for (std::size_t j = 0; j < beta.size(); ++j) {
+    terms.beta_dot_dbeta += static_cast<double>(beta[j]) * dbeta[j];
+    terms.dbeta_sq += static_cast<double>(dbeta[j]) * dbeta[j];
+  }
+  const double n = problem.num_examples();
+  const double gamma_star =
+      optimal_gamma_primal(terms, n, problem.lambda(), 1.0);
+
+  auto objective_at = [&](double gamma) {
+    std::vector<float> beta_g(beta.size());
+    std::vector<float> w_g(w.size());
+    for (std::size_t j = 0; j < beta.size(); ++j) {
+      beta_g[j] = static_cast<float>(beta[j] + gamma * dbeta[j]);
+    }
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w_g[i] = static_cast<float>(w[i] + gamma * dw[i]);
+    }
+    return problem.primal_objective(beta_g, w_g);
+  };
+
+  const double best = objective_at(gamma_star);
+  for (double gamma = -2.0; gamma <= 2.0; gamma += 0.05) {
+    EXPECT_LE(best, objective_at(gamma) + 1e-5)
+        << "grid gamma " << gamma << " beats gamma* " << gamma_star;
+  }
+}
+
+TEST_P(GammaOptimality, DualGammaMaximisesObjectiveAlongDirection) {
+  const auto data = dataset();
+  const RidgeProblem problem(data, 0.05);
+  util::Rng rng(GetParam() + 500);
+
+  std::vector<float> alpha(problem.num_examples());
+  std::vector<float> dalpha(problem.num_examples());
+  for (auto& a : alpha) a = static_cast<float>(rng.normal(0.0, 0.2));
+  for (auto& d : dalpha) d = static_cast<float>(rng.normal(0.0, 0.2));
+  const auto wbar = linalg::csr_matvec_transposed(data.by_row(), alpha);
+  const auto dwbar = linalg::csr_matvec_transposed(data.by_row(), dalpha);
+
+  DualGammaTerms terms;
+  const auto labels = data.labels();
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    terms.dalpha_dot_y += static_cast<double>(dalpha[i]) * labels[i];
+    terms.dalpha_dot_alpha += static_cast<double>(dalpha[i]) * alpha[i];
+    terms.dalpha_sq += static_cast<double>(dalpha[i]) * dalpha[i];
+  }
+  for (std::size_t m = 0; m < wbar.size(); ++m) {
+    terms.wbar_dot_dwbar += static_cast<double>(wbar[m]) * dwbar[m];
+    terms.dwbar_sq += static_cast<double>(dwbar[m]) * dwbar[m];
+  }
+  const double n = problem.num_examples();
+  const double gamma_star =
+      optimal_gamma_dual(terms, n, problem.lambda(), 1.0);
+
+  auto objective_at = [&](double gamma) {
+    std::vector<float> alpha_g(alpha.size());
+    std::vector<float> wbar_g(wbar.size());
+    for (std::size_t i = 0; i < alpha.size(); ++i) {
+      alpha_g[i] = static_cast<float>(alpha[i] + gamma * dalpha[i]);
+    }
+    for (std::size_t m = 0; m < wbar.size(); ++m) {
+      wbar_g[m] = static_cast<float>(wbar[m] + gamma * dwbar[m]);
+    }
+    return problem.dual_objective(alpha_g, wbar_g);
+  };
+
+  const double best = objective_at(gamma_star);
+  for (double gamma = -2.0; gamma <= 2.0; gamma += 0.05) {
+    EXPECT_GE(best, objective_at(gamma) - 1e-5)
+        << "grid gamma " << gamma << " beats gamma* " << gamma_star;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GammaOptimality,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL));
+
+TEST(Aggregation, PaperTypoRegressionPrimal) {
+  // Eq. (7) as printed omits <y, dw>.  On a problem where y != 0 and the
+  // direction correlates with y, the printed formula yields a gamma whose
+  // objective is strictly worse than ours.
+  const auto data = dataset();
+  const RidgeProblem problem(data, 0.05);
+  std::vector<float> beta(problem.num_features(), 0.1F);
+  std::vector<float> dbeta(problem.num_features(), 0.05F);
+  const auto w = linalg::csr_matvec(data.by_row(), beta);
+  const auto dw = linalg::csr_matvec(data.by_row(), dbeta);
+
+  PrimalGammaTerms terms;
+  double w_dot_dw = 0.0;
+  const auto labels = data.labels();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    terms.y_minus_w_dot_dw +=
+        (static_cast<double>(labels[i]) - w[i]) * dw[i];
+    terms.dw_sq += static_cast<double>(dw[i]) * dw[i];
+    w_dot_dw += static_cast<double>(w[i]) * dw[i];
+  }
+  for (std::size_t j = 0; j < beta.size(); ++j) {
+    terms.beta_dot_dbeta += static_cast<double>(beta[j]) * dbeta[j];
+    terms.dbeta_sq += static_cast<double>(dbeta[j]) * dbeta[j];
+  }
+  const double n = problem.num_examples();
+  const double lambda = problem.lambda();
+  const double ours = optimal_gamma_primal(terms, n, lambda, 1.0);
+  const double printed =
+      -(w_dot_dw + n * lambda * terms.beta_dot_dbeta) /
+      (terms.dw_sq + n * lambda * terms.dbeta_sq);
+
+  auto objective_at = [&](double gamma) {
+    std::vector<float> beta_g(beta.size());
+    std::vector<float> w_g(w.size());
+    for (std::size_t j = 0; j < beta.size(); ++j) {
+      beta_g[j] = static_cast<float>(beta[j] + gamma * dbeta[j]);
+    }
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w_g[i] = static_cast<float>(w[i] + gamma * dw[i]);
+    }
+    return problem.primal_objective(beta_g, w_g);
+  };
+  EXPECT_LT(objective_at(ours), objective_at(printed) - 1e-6);
+}
+
+}  // namespace
+}  // namespace tpa::cluster

@@ -1,0 +1,126 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpa::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("tool", "test tool");
+  parser.add_option("name", "a string option");
+  parser.add_option("count", "an integer option", "3");
+  parser.add_option("rate", "a float option");
+  parser.add_flag("verbose", "a flag");
+  return parser;
+}
+
+TEST(ArgParser, ParsesSpaceSeparatedValues) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--name", "alice", "--count", "7"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_string("name", ""), "alice");
+  EXPECT_EQ(parser.get_int("count", 0), 7);
+}
+
+TEST(ArgParser, ParsesEqualsForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--name=bob", "--rate=2.5"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_string("name", ""), "bob");
+  EXPECT_DOUBLE_EQ(parser.get_double("rate", 0.0), 2.5);
+}
+
+TEST(ArgParser, FlagsDefaultFalseAndSetTrue) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+
+  auto parser2 = make_parser();
+  const char* argv2[] = {"tool"};
+  ASSERT_TRUE(parser2.parse(1, argv2));
+  EXPECT_FALSE(parser2.get_bool("verbose"));
+}
+
+TEST(ArgParser, FallbacksApplyWhenAbsent) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_string("name", "default"), "default");
+  EXPECT_EQ(parser.get_int("count", 42), 42);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate", 1.5), 1.5);
+}
+
+TEST(ArgParser, UnknownOptionFailsParse) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--bogus", "1"};
+  EXPECT_FALSE(parser.parse(3, argv));
+}
+
+TEST(ArgParser, MissingValueFailsParse) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--name"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, PositionalArgumentsCollected) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "input.txt", "--count", "2", "output.txt"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+  EXPECT_EQ(parser.positional()[1], "output.txt");
+}
+
+TEST(ArgParser, LastOccurrenceWins) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--count", "1", "--count", "9"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("count", 0), 9);
+}
+
+TEST(ArgParser, MalformedNumbersFallBack) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--count", "abc", "--rate", "xyz"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("count", 5), 5);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate", 0.25), 0.25);
+}
+
+TEST(ArgParser, HasReportsPresence) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--name", "x"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_TRUE(parser.has("name"));
+  EXPECT_FALSE(parser.has("count"));
+}
+
+TEST(ArgParser, UsageMentionsOptionsAndDefaults) {
+  const auto parser = make_parser();
+  const auto text = parser.usage();
+  EXPECT_NE(text.find("--name"), std::string::npos);
+  EXPECT_NE(text.find("--verbose"), std::string::npos);
+  EXPECT_NE(text.find("default: 3"), std::string::npos);
+  EXPECT_NE(text.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, BoolParsingVariants) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--verbose=yes"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+
+  auto parser2 = make_parser();
+  const char* argv2[] = {"tool", "--verbose=0"};
+  ASSERT_TRUE(parser2.parse(2, argv2));
+  EXPECT_FALSE(parser2.get_bool("verbose"));
+}
+
+}  // namespace
+}  // namespace tpa::util

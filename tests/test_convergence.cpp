@@ -1,0 +1,128 @@
+#include "core/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/seq_scd.hpp"
+#include "data/generators.hpp"
+
+namespace tpa::core {
+namespace {
+
+ConvergenceTrace synthetic_trace() {
+  ConvergenceTrace trace;
+  trace.add({1, 1e-1, 1.0, 0.1, 0.5});
+  trace.add({2, 1e-3, 2.0, 0.2, 0.6});
+  trace.add({3, 1e-5, 3.0, 0.3, 0.7});
+  return trace;
+}
+
+TEST(ConvergenceTrace, QueriesFindFirstCrossing) {
+  const auto trace = synthetic_trace();
+  EXPECT_EQ(trace.final_gap(), 1e-5);
+  ASSERT_TRUE(trace.sim_time_to_gap(1e-2).has_value());
+  EXPECT_EQ(*trace.sim_time_to_gap(1e-2), 2.0);
+  EXPECT_EQ(*trace.sim_time_to_gap(1e-3), 2.0);
+  EXPECT_EQ(*trace.epochs_to_gap(1e-5), 3);
+  EXPECT_FALSE(trace.sim_time_to_gap(1e-9).has_value());
+  EXPECT_FALSE(trace.epochs_to_gap(0.0).has_value());
+}
+
+TEST(ConvergenceTrace, EmptyTrace) {
+  const ConvergenceTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.final_gap(), 0.0);
+  EXPECT_FALSE(trace.sim_time_to_gap(1.0).has_value());
+}
+
+data::Dataset dataset() {
+  data::DenseGaussianConfig config;
+  config.num_examples = 40;
+  config.num_features = 16;
+  return data::make_dense_gaussian(config);
+}
+
+TEST(RunSolver, RecordsAtTheRequestedCadence) {
+  const auto data = dataset();
+  const RidgeProblem problem(data, 0.05);
+  SeqScdSolver solver(problem, Formulation::kPrimal, 1);
+  RunOptions options;
+  options.max_epochs = 10;
+  options.record_interval = 3;
+  const auto trace = run_solver(solver, problem, options);
+  // Records at epochs 3, 6, 9 and the forced final record at 10.
+  ASSERT_EQ(trace.points().size(), 4u);
+  EXPECT_EQ(trace.points()[0].epoch, 3);
+  EXPECT_EQ(trace.points()[3].epoch, 10);
+}
+
+TEST(RunSolver, StopsEarlyOnTargetGap) {
+  const auto data = dataset();
+  const RidgeProblem problem(data, 0.05);
+  SeqScdSolver solver(problem, Formulation::kPrimal, 1);
+  RunOptions options;
+  options.max_epochs = 500;
+  options.target_gap = 1e-4;
+  const auto trace = run_solver(solver, problem, options);
+  EXPECT_LE(trace.final_gap(), 1e-4);
+  EXPECT_LT(trace.points().back().epoch, 500);
+}
+
+TEST(RunSolver, CumulativeTimesAreMonotone) {
+  const auto data = dataset();
+  const RidgeProblem problem(data, 0.05);
+  SeqScdSolver solver(problem, Formulation::kDual, 1);
+  RunOptions options;
+  options.max_epochs = 6;
+  const auto trace = run_solver(solver, problem, options);
+  for (std::size_t i = 1; i < trace.points().size(); ++i) {
+    EXPECT_GT(trace.points()[i].sim_seconds,
+              trace.points()[i - 1].sim_seconds);
+    EXPECT_GE(trace.points()[i].wall_seconds,
+              trace.points()[i - 1].wall_seconds);
+  }
+}
+
+TEST(Metrics, RmseAndR2OnKnownValues) {
+  const std::vector<float> predictions{1.0F, 2.0F, 3.0F};
+  const std::vector<float> labels{1.0F, 2.0F, 5.0F};
+  EXPECT_NEAR(rmse(predictions, labels), std::sqrt(4.0 / 3.0), 1e-9);
+  // ss_res = 4; mean(y) = 8/3; ss_tot = (5/3)^2 + (2/3)^2 + (7/3)^2.
+  const double ss_tot = (25.0 + 4.0 + 49.0) / 9.0;
+  EXPECT_NEAR(r_squared(predictions, labels), 1.0 - 4.0 / ss_tot, 1e-9);
+}
+
+TEST(Metrics, PerfectPredictionScoresOne) {
+  const std::vector<float> y{2.0F, -1.0F, 0.5F};
+  EXPECT_EQ(rmse(y, y), 0.0);
+  EXPECT_EQ(r_squared(y, y), 1.0);
+  EXPECT_EQ(sign_accuracy(y, y), 1.0);
+}
+
+TEST(Metrics, SignAccuracyCountsMatches) {
+  const std::vector<float> predictions{1.0F, -1.0F, 1.0F, -1.0F};
+  const std::vector<float> labels{1.0F, 1.0F, 1.0F, -1.0F};
+  EXPECT_DOUBLE_EQ(sign_accuracy(predictions, labels), 0.75);
+}
+
+TEST(Metrics, EmptyInputsAreZero) {
+  EXPECT_EQ(rmse({}, {}), 0.0);
+  EXPECT_EQ(r_squared({}, {}), 0.0);
+  EXPECT_EQ(sign_accuracy({}, {}), 0.0);
+}
+
+TEST(Metrics, PredictUsesPrimalWeights) {
+  const auto data = dataset();
+  std::vector<float> beta(data.num_features(), 0.0F);
+  beta[0] = 1.0F;
+  const auto predictions = predict(data, beta);
+  ASSERT_EQ(predictions.size(), data.num_examples());
+  for (data::Index r = 0; r < data.num_examples(); ++r) {
+    EXPECT_FLOAT_EQ(predictions[r], data.by_row().at(r, 0));
+  }
+}
+
+}  // namespace
+}  // namespace tpa::core

@@ -1,0 +1,69 @@
+// CPU cost model and paper-scale timing workloads (DESIGN.md §5).
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+
+namespace tpa::core {
+namespace {
+
+TEST(TimingWorkload, UsesActualDimensionsWithoutPaperScale) {
+  data::DenseGaussianConfig config;
+  config.num_examples = 32;
+  config.num_features = 16;
+  const auto dataset = data::make_dense_gaussian(config);
+  const auto primal =
+      TimingWorkload::for_dataset(dataset, Formulation::kPrimal);
+  EXPECT_EQ(primal.nnz, dataset.nnz());
+  EXPECT_EQ(primal.num_coordinates, 16u);
+  EXPECT_EQ(primal.shared_dim, 32u);
+  const auto dual = TimingWorkload::for_dataset(dataset, Formulation::kDual);
+  EXPECT_EQ(dual.num_coordinates, 32u);
+  EXPECT_EQ(dual.shared_dim, 16u);
+}
+
+TEST(TimingWorkload, UsesPaperScaleWhenPresent) {
+  data::WebspamLikeConfig config;
+  config.num_examples = 64;
+  config.num_features = 32;
+  const auto dataset = data::make_webspam_like(config);
+  const auto w = TimingWorkload::for_dataset(dataset, Formulation::kDual);
+  // The tiny generated matrix stands in for the full webspam corpus.
+  EXPECT_EQ(w.num_coordinates, 262'938u);
+  EXPECT_EQ(w.shared_dim, 680'715u);
+  EXPECT_GT(w.nnz, 100'000'000u);
+}
+
+TEST(CpuCostModel, SequentialEpochIsLinearInNnz) {
+  const CpuCostModel model;
+  TimingWorkload small{1'000'000, 1000, 1000};
+  TimingWorkload big{10'000'000, 1000, 1000};
+  EXPECT_NEAR(model.epoch_seconds_sequential(big),
+              10.0 * model.epoch_seconds_sequential(small), 1e-12);
+}
+
+TEST(CpuCostModel, LatencyWallWhenSharedVectorExceedsLlc) {
+  const CpuCostModel model;
+  TimingWorkload cached{1'000'000, 1000, 100'000};     // 400 KB: in LLC
+  TimingWorkload uncached{1'000'000, 1000, 75'000'000};  // 300 MB: misses
+  EXPECT_GT(model.epoch_seconds_sequential(uncached),
+            4.0 * model.epoch_seconds_sequential(cached));
+}
+
+TEST(CpuCostModel, SpeedupInterpolation) {
+  const CpuCostModel model;
+  EXPECT_DOUBLE_EQ(model.atomic_speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(model.atomic_speedup(16), 2.0);
+  EXPECT_DOUBLE_EQ(model.wild_speedup(16), 4.0);
+  // Monotone in threads, flat beyond the Xeon's 16 hardware threads.
+  EXPECT_GT(model.atomic_speedup(4), model.atomic_speedup(2));
+  EXPECT_DOUBLE_EQ(model.atomic_speedup(64), model.atomic_speedup(16));
+  // Wild is always at least as fast as atomic (no RMW serialisation).
+  for (const int threads : {2, 4, 8, 16}) {
+    EXPECT_GE(model.wild_speedup(threads), model.atomic_speedup(threads));
+  }
+}
+
+}  // namespace
+}  // namespace tpa::core

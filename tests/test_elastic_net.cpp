@@ -1,0 +1,190 @@
+// Elastic-net extension: soft-thresholding, ridge-limit equivalence, lasso
+// sparsity, KKT optimality, and monotone descent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/elastic_net.hpp"
+#include "core/seq_scd.hpp"
+#include "data/generators.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tpa::core {
+namespace {
+
+const data::Dataset& dataset() {
+  static const data::Dataset d = [] {
+    data::WebspamLikeConfig config;
+    config.num_examples = 512;
+    config.num_features = 256;
+    config.model_density = 0.1;  // sparse ground truth for selection tests
+    return data::make_webspam_like(config);
+  }();
+  return d;
+}
+
+TEST(ElasticNet, RejectsBadParameters) {
+  EXPECT_THROW(ElasticNetProblem(dataset(), 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(ElasticNetProblem(dataset(), 0.1, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(ElasticNetProblem(dataset(), 0.1, 1.5),
+               std::invalid_argument);
+}
+
+TEST(ElasticNet, SoftThresholdOperator) {
+  EXPECT_EQ(ElasticNetProblem::soft_threshold(3.0, 1.0), 2.0);
+  EXPECT_EQ(ElasticNetProblem::soft_threshold(-3.0, 1.0), -2.0);
+  EXPECT_EQ(ElasticNetProblem::soft_threshold(0.5, 1.0), 0.0);
+  EXPECT_EQ(ElasticNetProblem::soft_threshold(-0.5, 1.0), 0.0);
+  EXPECT_EQ(ElasticNetProblem::soft_threshold(1.0, 1.0), 0.0);
+}
+
+TEST(ElasticNet, ZeroL1RatioMatchesRidgeTrajectory) {
+  const double lambda = 0.01;
+  const ElasticNetProblem en_problem(dataset(), lambda, 0.0);
+  const RidgeProblem ridge_problem(dataset(), lambda);
+  ElasticNetSolver en(en_problem, 5);
+  SeqScdSolver ridge(ridge_problem, Formulation::kPrimal, 5);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    en.run_epoch();
+    ridge.run_epoch();
+  }
+  // Same seed => same permutations; at eta = 0 the updates are identical.
+  for (std::size_t m = 0; m < en.beta().size(); ++m) {
+    EXPECT_NEAR(en.beta()[m], ridge.state().weights[m], 1e-5);
+  }
+}
+
+TEST(ElasticNet, ObjectiveDecreasesMonotonically) {
+  const ElasticNetProblem problem(dataset(), 0.01, 0.5);
+  ElasticNetSolver solver(problem, 1);
+  double previous = solver.objective();
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    solver.run_epoch();
+    const double current = solver.objective();
+    EXPECT_LE(current, previous + 1e-9);
+    previous = current;
+  }
+}
+
+TEST(ElasticNet, KktViolationVanishesAtConvergence) {
+  const ElasticNetProblem problem(dataset(), 0.01, 0.5);
+  ElasticNetSolver solver(problem, 2);
+  for (int epoch = 0; epoch < 60; ++epoch) solver.run_epoch();
+  EXPECT_LT(solver.kkt_violation(), 1e-4);
+}
+
+TEST(ElasticNet, LassoProducesSparsityRidgeDoesNot) {
+  const ElasticNetProblem lasso(dataset(), 0.02, 1.0);
+  const ElasticNetProblem ridge(dataset(), 0.02, 0.0);
+  ElasticNetSolver lasso_solver(lasso, 3);
+  ElasticNetSolver ridge_solver(ridge, 3);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    lasso_solver.run_epoch();
+    ridge_solver.run_epoch();
+  }
+  EXPECT_GT(lasso_solver.zero_coefficients(),
+            dataset().num_features() / 4);
+  EXPECT_GT(lasso_solver.zero_coefficients(),
+            2 * ridge_solver.zero_coefficients());
+}
+
+TEST(ElasticNet, SparsityGrowsWithL1Ratio) {
+  std::size_t previous_zeros = 0;
+  for (const double eta : {0.2, 0.6, 1.0}) {
+    const ElasticNetProblem problem(dataset(), 0.02, eta);
+    ElasticNetSolver solver(problem, 4);
+    for (int epoch = 0; epoch < 30; ++epoch) solver.run_epoch();
+    EXPECT_GE(solver.zero_coefficients() + 8, previous_zeros)
+        << "eta " << eta;
+    previous_zeros = solver.zero_coefficients();
+  }
+}
+
+TEST(ElasticNet, AsyncWindowStillConverges) {
+  // Async execution needs a realistically sized problem relative to the
+  // concurrency window (cf. gpusim::DeviceSpec::async_staleness).
+  data::WebspamLikeConfig config;
+  config.num_examples = 2048;
+  config.num_features = 4096;
+  const auto big = data::make_webspam_like(config);
+  const ElasticNetProblem problem(big, 0.01, 0.5);
+  ElasticNetSolver sequential(problem, 6, 1);
+  ElasticNetSolver async(problem, 6, 48);  // TPA-style execution
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    sequential.run_epoch();
+    async.run_epoch();
+  }
+  EXPECT_LT(async.kkt_violation(), 1e-3);
+  EXPECT_NEAR(async.objective(), sequential.objective(), 1e-3);
+}
+
+TEST(ElasticNet, SharedVectorTracksBeta) {
+  const ElasticNetProblem problem(dataset(), 0.01, 0.7);
+  ElasticNetSolver solver(problem, 7);
+  for (int epoch = 0; epoch < 5; ++epoch) solver.run_epoch();
+  // w must remain A·beta up to float rounding (atomic commits).
+  const auto expected =
+      linalg::csr_matvec(dataset().by_row(), solver.beta());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(solver.shared()[i], expected[i], 1e-3);
+  }
+}
+
+TEST(ElasticNetPath, LambdaMaxZeroesEveryCoefficient) {
+  const double lambda_max = elastic_net_lambda_max(dataset(), 1.0);
+  EXPECT_GT(lambda_max, 0.0);
+  const ElasticNetProblem problem(dataset(), lambda_max * 1.0001, 1.0);
+  ElasticNetSolver solver(problem, 1);
+  for (int epoch = 0; epoch < 10; ++epoch) solver.run_epoch();
+  EXPECT_EQ(solver.zero_coefficients(), dataset().num_features());
+}
+
+TEST(ElasticNetPath, SupportGrowsDownThePath) {
+  PathOptions options;
+  options.l1_ratio = 1.0;
+  options.num_lambdas = 8;
+  options.lambda_min_ratio = 1e-2;
+  const auto path = elastic_net_path(dataset(), options);
+  ASSERT_EQ(path.size(), 8u);
+  // The first point sits at lambda_max: empty (or near-empty) model; the
+  // support can only grow (weakly) as lambda decreases on this data.
+  EXPECT_LE(path.front().nonzeros, 2u);
+  EXPECT_GT(path.back().nonzeros, path.front().nonzeros);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_LT(path[i].lambda, path[i - 1].lambda);
+  }
+}
+
+TEST(ElasticNetPath, WarmStartMatchesColdSolve) {
+  PathOptions options;
+  options.l1_ratio = 0.8;
+  options.num_lambdas = 6;
+  options.lambda_min_ratio = 0.05;
+  options.epochs_per_lambda = 30;
+  const auto path = elastic_net_path(dataset(), options);
+  // Cold-solving the final lambda must land on the same objective the
+  // warm-started path reached (the path is a speed trick, not a different
+  // estimator).
+  const ElasticNetProblem problem(dataset(), path.back().lambda, 0.8);
+  ElasticNetSolver cold(problem, 99);
+  for (int epoch = 0; epoch < 200; ++epoch) cold.run_epoch();
+  EXPECT_NEAR(path.back().objective, cold.objective(),
+              1e-4 + 1e-3 * std::abs(cold.objective()));
+}
+
+TEST(ElasticNetPath, RejectsBadParameters) {
+  EXPECT_THROW(elastic_net_lambda_max(dataset(), 0.0),
+               std::invalid_argument);
+  PathOptions bad;
+  bad.l1_ratio = 0.0;
+  EXPECT_THROW(elastic_net_path(dataset(), bad), std::invalid_argument);
+  PathOptions bad_grid;
+  bad_grid.num_lambdas = 1;
+  EXPECT_THROW(elastic_net_path(dataset(), bad_grid),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tpa::core

@@ -1,0 +1,140 @@
+// Dense / sparse-dense vector kernels against straightforward references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+#include "sparse/convert.hpp"
+#include "util/rng.hpp"
+
+namespace tpa::linalg {
+namespace {
+
+TEST(VectorOps, DotFloatAccumulatesInDouble) {
+  const std::vector<float> x{1.0F, 2.0F, 3.0F};
+  const std::vector<float> y{4.0F, -5.0F, 6.0F};
+  EXPECT_DOUBLE_EQ(dot(std::span<const float>(x), y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOps, DotDouble) {
+  const std::vector<double> x{0.5, 0.25};
+  const std::vector<double> y{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(std::span<const double>(x), y), 2.0);
+}
+
+TEST(VectorOps, EmptyDotIsZero) {
+  EXPECT_EQ(dot(std::span<const float>{}, std::span<const float>{}), 0.0);
+}
+
+TEST(VectorOps, SquaredNorm) {
+  const std::vector<float> x{3.0F, 4.0F};
+  EXPECT_DOUBLE_EQ(squared_norm(std::span<const float>(x)), 25.0);
+}
+
+TEST(VectorOps, AxpyFloat) {
+  const std::vector<float> x{1.0F, 2.0F};
+  std::vector<float> y{10.0F, 20.0F};
+  axpy(2.0, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0F);
+  EXPECT_FLOAT_EQ(y[1], 24.0F);
+}
+
+TEST(VectorOps, AxpyDouble) {
+  const std::vector<double> x{1.0, -1.0};
+  std::vector<double> y{0.0, 0.0};
+  axpy(-3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<float> x{2.0F, -4.0F};
+  scale(x, 0.5);
+  EXPECT_FLOAT_EQ(x[0], 1.0F);
+  EXPECT_FLOAT_EQ(x[1], -2.0F);
+}
+
+sparse::SparseVectorView make_view(const std::vector<sparse::Index>& idx,
+                                   const std::vector<float>& val) {
+  return sparse::SparseVectorView{idx, val};
+}
+
+TEST(SparseOps, SparseDot) {
+  const std::vector<sparse::Index> idx{0, 2};
+  const std::vector<float> val{2.0F, 3.0F};
+  const std::vector<float> dense{1.0F, 9.0F, -1.0F};
+  EXPECT_DOUBLE_EQ(sparse_dot(make_view(idx, val), dense), 2.0 - 3.0);
+}
+
+TEST(SparseOps, SparseResidualDot) {
+  const std::vector<sparse::Index> idx{1};
+  const std::vector<float> val{4.0F};
+  const std::vector<float> target{0.0F, 10.0F};
+  const std::vector<float> dense{0.0F, 7.0F};
+  EXPECT_DOUBLE_EQ(sparse_residual_dot(make_view(idx, val), target, dense),
+                   4.0 * 3.0);
+}
+
+TEST(SparseOps, SparseAxpyScattersOnlyTouchedEntries) {
+  const std::vector<sparse::Index> idx{0, 3};
+  const std::vector<float> val{1.0F, -2.0F};
+  std::vector<float> dense{1.0F, 1.0F, 1.0F, 1.0F};
+  sparse_axpy(0.5, make_view(idx, val), dense);
+  EXPECT_FLOAT_EQ(dense[0], 1.5F);
+  EXPECT_FLOAT_EQ(dense[1], 1.0F);
+  EXPECT_FLOAT_EQ(dense[2], 1.0F);
+  EXPECT_FLOAT_EQ(dense[3], 0.0F);
+}
+
+TEST(VectorOps, MaxAbsDiffAndDistance) {
+  const std::vector<float> x{1.0F, 5.0F};
+  const std::vector<float> y{2.0F, 2.0F};
+  EXPECT_DOUBLE_EQ(max_abs_diff(x, y), 3.0);
+  EXPECT_DOUBLE_EQ(distance(x, y), std::sqrt(1.0 + 9.0));
+}
+
+class MatvecSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatvecSweep, MatvecMatchesDenseReference) {
+  util::Rng rng(GetParam());
+  sparse::CooBuilder coo(9, 14);
+  for (sparse::Index r = 0; r < 9; ++r) {
+    for (sparse::Index c = 0; c < 14; ++c) {
+      if (rng.bernoulli(0.3)) {
+        coo.add(r, c, static_cast<float>(rng.normal()));
+      }
+    }
+  }
+  const auto csr = sparse::coo_to_csr(coo);
+  std::vector<float> x(14);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+
+  const auto y = csr_matvec(csr, x);
+  ASSERT_EQ(y.size(), 9u);
+  for (sparse::Index r = 0; r < 9; ++r) {
+    double expected = 0.0;
+    for (sparse::Index c = 0; c < 14; ++c) {
+      expected += static_cast<double>(csr.at(r, c)) * x[c];
+    }
+    EXPECT_NEAR(y[r], expected, 1e-4);
+  }
+
+  std::vector<float> z(9);
+  for (auto& v : z) v = static_cast<float>(rng.normal());
+  const auto yt = csr_matvec_transposed(csr, z);
+  ASSERT_EQ(yt.size(), 14u);
+  for (sparse::Index c = 0; c < 14; ++c) {
+    double expected = 0.0;
+    for (sparse::Index r = 0; r < 9; ++r) {
+      expected += static_cast<double>(csr.at(r, c)) * z[r];
+    }
+    EXPECT_NEAR(yt[c], expected, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatvecSweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL));
+
+}  // namespace
+}  // namespace tpa::linalg

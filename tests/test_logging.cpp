@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpa::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ParseKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseUnknownFallsBackToInfo) {
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, MacroCompilesAndRespectsLevel) {
+  set_log_level(LogLevel::kOff);
+  // With logging off, the message expression must still be side-effect-safe.
+  int evaluations = 0;
+  TPA_LOG_INFO << "count " << ++evaluations;
+  EXPECT_EQ(evaluations, 0) << "message should not be evaluated when off";
+
+  set_log_level(LogLevel::kDebug);
+  TPA_LOG_DEBUG << "debug message " << ++evaluations;
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace tpa::util

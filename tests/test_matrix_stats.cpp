@@ -1,0 +1,91 @@
+#include "sparse/matrix_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "sparse/io_binary.hpp"
+#include "sparse/io_svmlight.hpp"
+
+namespace tpa::sparse {
+namespace {
+
+CsrMatrix sample() {
+  // [ 1 0 2 0 ]
+  // [ 0 0 0 0 ]
+  // [ 3 4 5 0 ]
+  return CsrMatrix(3, 4, {0, 2, 2, 5}, {0, 2, 0, 1, 2},
+                   {1.0F, 2.0F, 3.0F, 4.0F, 5.0F});
+}
+
+TEST(MatrixStats, CountsAndDensity) {
+  const auto stats = compute_stats(sample());
+  EXPECT_EQ(stats.rows, 3u);
+  EXPECT_EQ(stats.cols, 4u);
+  EXPECT_EQ(stats.nnz, 5u);
+  EXPECT_DOUBLE_EQ(stats.density, 5.0 / 12.0);
+  EXPECT_EQ(stats.empty_rows, 1u);
+  EXPECT_EQ(stats.populated_cols, 3u);
+}
+
+TEST(MatrixStats, RowNnzDistribution) {
+  const auto stats = compute_stats(sample());
+  EXPECT_EQ(stats.row_nnz.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.row_nnz.mean(), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.row_nnz.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.row_nnz.max(), 3.0);
+}
+
+TEST(MatrixStats, FootprintsUsePaperLayout) {
+  const auto stats = compute_stats(sample());
+  // 8 bytes per stored entry + one offset array.
+  EXPECT_EQ(stats.csr_bytes, 5 * 8 + 4 * sizeof(Offset));
+  EXPECT_EQ(stats.csc_bytes, 5 * 8 + 5 * sizeof(Offset));
+}
+
+TEST(MatrixStats, SummaryMentionsShape) {
+  const auto text = compute_stats(sample()).summary();
+  EXPECT_NE(text.find("3 x 4"), std::string::npos);
+  EXPECT_NE(text.find("nnz=5"), std::string::npos);
+  std::ostringstream out;
+  out << compute_stats(sample());
+  EXPECT_EQ(out.str(), text);
+}
+
+TEST(MatrixStats, EmptyMatrix) {
+  const auto stats = compute_stats(CsrMatrix(0, 0, {0}, {}, {}));
+  EXPECT_EQ(stats.nnz, 0u);
+  EXPECT_EQ(stats.density, 0.0);
+}
+
+TEST(FileIo, SvmlightFileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "tpa_stats_test.svm").string();
+  const auto matrix = sample();
+  const std::vector<float> labels{1.0F, -1.0F, 1.0F};
+  write_svmlight_file(path, matrix, labels);
+  const auto loaded = read_svmlight_file(path, matrix.cols());
+  EXPECT_EQ(loaded.matrix.nnz(), matrix.nnz());
+  EXPECT_EQ(loaded.labels.size(), labels.size());
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, BinaryFileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "tpa_stats_test.bin").string();
+  LabeledMatrix data{sample(), {1.0F, 2.0F, 3.0F}};
+  write_binary_file(path, data);
+  const auto loaded = read_binary_file(path);
+  EXPECT_EQ(loaded.matrix.nnz(), data.matrix.nnz());
+  EXPECT_EQ(loaded.labels, data.labels);
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, MissingFilesThrow) {
+  EXPECT_THROW(read_svmlight_file("/no/such/file.svm"), std::runtime_error);
+  EXPECT_THROW(read_binary_file("/no/such/file.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tpa::sparse

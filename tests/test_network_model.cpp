@@ -1,0 +1,62 @@
+#include "cluster/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpa::cluster {
+namespace {
+
+TEST(NetworkModel, SingleWorkerHasNoCollectiveCost) {
+  const auto net = NetworkModel::ethernet_10g();
+  EXPECT_EQ(net.reduce_seconds(1 << 20, 1), 0.0);
+  EXPECT_EQ(net.broadcast_seconds(1 << 20, 1), 0.0);
+  EXPECT_EQ(net.allreduce_seconds(1 << 20, 0), 0.0);
+}
+
+TEST(NetworkModel, CostGrowsWithBytes) {
+  const auto net = NetworkModel::ethernet_10g();
+  EXPECT_LT(net.reduce_seconds(1 << 10, 4), net.reduce_seconds(1 << 20, 4));
+  EXPECT_LT(net.point_to_point_seconds(100),
+            net.point_to_point_seconds(1 << 20));
+}
+
+TEST(NetworkModel, LatencyGrowsLogarithmicallyWithWorkers) {
+  const auto net = NetworkModel::ethernet_10g();
+  // Pipelined tree: K=2 -> 1 level, K=8 -> 3 levels; bandwidth term fixed.
+  const double t2 = net.reduce_seconds(0, 2);
+  const double t8 = net.reduce_seconds(0, 8);
+  EXPECT_NEAR(t8, 3.0 * t2, 1e-12);
+  // Non-power-of-two rounds up.
+  EXPECT_NEAR(net.reduce_seconds(0, 5), 3.0 * t2, 1e-12);
+}
+
+TEST(NetworkModel, BandwidthTermPaidOncePerCollective) {
+  const auto net = NetworkModel::ethernet_10g();
+  const std::size_t bytes = 1 << 20;
+  const double transfer = static_cast<double>(bytes) /
+                          (net.bandwidth_gbps * 1e9);
+  EXPECT_NEAR(net.reduce_seconds(bytes, 8) - net.reduce_seconds(0, 8),
+              transfer, 1e-12);
+}
+
+TEST(NetworkModel, AllreduceIsReducePlusBroadcast) {
+  const auto net = NetworkModel::pcie_peer();
+  const std::size_t bytes = 123456;
+  EXPECT_DOUBLE_EQ(net.allreduce_seconds(bytes, 6),
+                   net.reduce_seconds(bytes, 6) +
+                       net.broadcast_seconds(bytes, 6));
+}
+
+TEST(NetworkModel, PresetOrdering) {
+  const auto eth10 = NetworkModel::ethernet_10g();
+  const auto eth100 = NetworkModel::ethernet_100g();
+  const auto pcie = NetworkModel::pcie_peer();
+  // 100GbE and PCIe both out-run 10GbE for a 1 MB shared vector.
+  const std::size_t bytes = 1 << 20;
+  EXPECT_LT(eth100.reduce_seconds(bytes, 8), eth10.reduce_seconds(bytes, 8));
+  EXPECT_LT(pcie.reduce_seconds(bytes, 8), eth10.reduce_seconds(bytes, 8));
+  // PCIe has the lowest latency.
+  EXPECT_LT(pcie.latency_s, eth10.latency_s);
+}
+
+}  // namespace
+}  // namespace tpa::cluster

@@ -1,0 +1,156 @@
+// Data partitioning: coverage, balance, and shard construction for both
+// distribution axes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/partition.hpp"
+#include "data/generators.hpp"
+
+namespace tpa::cluster {
+namespace {
+
+data::Dataset corpus() {
+  data::WebspamLikeConfig config;
+  config.num_examples = 200;
+  config.num_features = 80;
+  config.avg_nnz_per_row = 10.0;
+  return data::make_webspam_like(config);
+}
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<data::Index, int>> {};
+
+TEST_P(PartitionSweep, RandomPartitionCoversEveryCoordinateOnce) {
+  const auto [n, workers] = GetParam();
+  util::Rng rng(3);
+  const auto partition = Partition::random(n, workers, rng);
+  EXPECT_EQ(partition.num_workers(), workers);
+  EXPECT_TRUE(partition.covers(n));
+}
+
+TEST_P(PartitionSweep, RandomPartitionIsBalanced) {
+  const auto [n, workers] = GetParam();
+  util::Rng rng(4);
+  const auto partition = Partition::random(n, workers, rng);
+  std::size_t min_size = n;
+  std::size_t max_size = 0;
+  for (const auto& owned : partition.owned) {
+    min_size = std::min(min_size, owned.size());
+    max_size = std::max(max_size, owned.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST_P(PartitionSweep, ContiguousPartitionCovers) {
+  const auto [n, workers] = GetParam();
+  const auto partition = Partition::contiguous(n, workers);
+  EXPECT_TRUE(partition.covers(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweep,
+    ::testing::Combine(::testing::Values<data::Index>(1u, 7u, 64u, 1000u),
+                       ::testing::Values(1, 2, 3, 8)));
+
+TEST(Partition, RejectsNonPositiveWorkers) {
+  util::Rng rng(1);
+  EXPECT_THROW(Partition::random(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(Partition::contiguous(10, -1), std::invalid_argument);
+}
+
+TEST(Partition, CoversRejectsHolesAndDuplicates) {
+  Partition holes;
+  holes.owned = {{0, 1}, {3}};
+  EXPECT_FALSE(holes.covers(4));
+  Partition duplicates;
+  duplicates.owned = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(duplicates.covers(3));
+  Partition good;
+  good.owned = {{0, 2}, {1}};
+  EXPECT_TRUE(good.covers(3));
+}
+
+TEST(FeatureShard, KeepsAllRowsAndSelectedColumns) {
+  const auto global = corpus();
+  const std::vector<data::Index> cols{3, 10, 42};
+  const auto shard = make_feature_shard(global, cols);
+  EXPECT_EQ(shard.num_examples(), global.num_examples());
+  EXPECT_EQ(shard.num_features(), 3u);
+  // Local column j must equal global column cols[j].
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    const auto local = shard.by_col().col(static_cast<data::Index>(j));
+    const auto original = global.by_col().col(cols[j]);
+    ASSERT_EQ(local.nnz(), original.nnz());
+    for (std::size_t k = 0; k < local.nnz(); ++k) {
+      EXPECT_EQ(local.indices[k], original.indices[k]);
+      EXPECT_EQ(local.values[k], original.values[k]);
+    }
+  }
+  // Labels are replicated for the residual computation.
+  ASSERT_EQ(shard.labels().size(), global.labels().size());
+  EXPECT_EQ(shard.labels()[5], global.labels()[5]);
+}
+
+TEST(ExampleShard, KeepsSelectedRowsAndAllColumns) {
+  const auto global = corpus();
+  const std::vector<data::Index> rows{0, 99, 150};
+  const auto shard = make_example_shard(global, rows);
+  EXPECT_EQ(shard.num_examples(), 3u);
+  EXPECT_EQ(shard.num_features(), global.num_features());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(shard.labels()[i], global.labels()[rows[i]]);
+    const auto local = shard.by_row().row(static_cast<data::Index>(i));
+    const auto original = global.by_row().row(rows[i]);
+    ASSERT_EQ(local.nnz(), original.nnz());
+    for (std::size_t k = 0; k < local.nnz(); ++k) {
+      EXPECT_EQ(local.indices[k], original.indices[k]);
+    }
+  }
+}
+
+TEST(Shards, MakeShardDispatchesOnFormulation) {
+  const auto global = corpus();
+  const std::vector<data::Index> coords{1, 2};
+  const auto primal = make_shard(global, core::Formulation::kPrimal, coords);
+  EXPECT_EQ(primal.num_features(), 2u);
+  EXPECT_EQ(primal.num_examples(), global.num_examples());
+  const auto dual = make_shard(global, core::Formulation::kDual, coords);
+  EXPECT_EQ(dual.num_examples(), 2u);
+  EXPECT_EQ(dual.num_features(), global.num_features());
+}
+
+TEST(Shards, PaperScaleIsProportionallyInherited) {
+  const auto global = corpus();  // carries webspam PaperScale
+  util::Rng rng(5);
+  const auto partition =
+      Partition::random(global.num_examples(), 4, rng);
+  const auto shard = make_example_shard(global, partition.owned[0]);
+  ASSERT_TRUE(shard.paper_scale().has_value());
+  const auto& global_scale = *global.paper_scale();
+  const auto& shard_scale = *shard.paper_scale();
+  // Examples scale by ~1/4; features stay global (shared vector dimension).
+  EXPECT_NEAR(static_cast<double>(shard_scale.examples),
+              global_scale.examples / 4.0, global_scale.examples * 0.02);
+  EXPECT_EQ(shard_scale.features, global_scale.features);
+  EXPECT_LT(shard_scale.nnz, global_scale.nnz / 3);
+  EXPECT_GT(shard_scale.nnz, global_scale.nnz / 6);
+}
+
+TEST(Shards, ShardNnzSumsToGlobal) {
+  const auto global = corpus();
+  util::Rng rng(6);
+  for (const auto f : {core::Formulation::kPrimal, core::Formulation::kDual}) {
+    const auto n = f == core::Formulation::kPrimal ? global.num_features()
+                                                   : global.num_examples();
+    const auto partition = Partition::random(n, 3, rng);
+    sparse::Offset total = 0;
+    for (const auto& owned : partition.owned) {
+      total += make_shard(global, f, owned).nnz();
+    }
+    EXPECT_EQ(total, global.nnz());
+  }
+}
+
+}  // namespace
+}  // namespace tpa::cluster

@@ -1,0 +1,85 @@
+#include "util/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tpa::util {
+namespace {
+
+TEST(Permutation, IdentityIsSorted) {
+  const auto order = identity_permutation(5);
+  ASSERT_EQ(order.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Permutation, EmptyIdentity) {
+  EXPECT_TRUE(identity_permutation(0).empty());
+}
+
+TEST(Permutation, ShuffleKeepsPermutationProperty) {
+  Rng rng(1);
+  auto order = identity_permutation(257);
+  shuffle(order, rng);
+  EXPECT_TRUE(is_permutation(order));
+}
+
+TEST(Permutation, ShuffleChangesOrder) {
+  Rng rng(2);
+  auto order = identity_permutation(100);
+  shuffle(order, rng);
+  EXPECT_NE(order, identity_permutation(100));
+}
+
+TEST(Permutation, RandomPermutationIsValidAndSeeded) {
+  Rng a(3);
+  Rng b(3);
+  const auto p1 = random_permutation(64, a);
+  const auto p2 = random_permutation(64, b);
+  EXPECT_TRUE(is_permutation(p1));
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Permutation, IsPermutationRejectsDuplicates) {
+  std::vector<std::uint32_t> values{0, 1, 1};
+  EXPECT_FALSE(is_permutation(values));
+}
+
+TEST(Permutation, IsPermutationRejectsOutOfRange) {
+  std::vector<std::uint32_t> values{0, 1, 3};
+  EXPECT_FALSE(is_permutation(values));
+}
+
+TEST(Permutation, IsPermutationAcceptsEmpty) {
+  EXPECT_TRUE(is_permutation(std::span<const std::uint32_t>{}));
+}
+
+TEST(EpochPermutation, EveryEpochIsAFreshValidPermutation) {
+  EpochPermutation perm(50, Rng(4));
+  const auto first = std::vector<std::uint32_t>(perm.next().begin(),
+                                                perm.next().end());
+  bool changed = false;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    const auto view = perm.next();
+    EXPECT_TRUE(is_permutation(view));
+    if (!std::equal(view.begin(), view.end(), first.begin())) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(EpochPermutation, SizeIsStable) {
+  EpochPermutation perm(10, Rng(5));
+  EXPECT_EQ(perm.size(), 10u);
+  perm.next();
+  EXPECT_EQ(perm.size(), 10u);
+}
+
+TEST(EpochPermutation, SingleElement) {
+  EpochPermutation perm(1, Rng(6));
+  const auto view = perm.next();
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], 0u);
+}
+
+}  // namespace
+}  // namespace tpa::util

@@ -1,0 +1,204 @@
+// Randomized cross-module property sweeps: invariants that must hold for
+// any seed, regularisation strength, window, or commit policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/async_scd.hpp"
+#include "core/round_engine.hpp"
+#include "core/seq_scd.hpp"
+#include "data/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/permutation.hpp"
+
+namespace tpa::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AsyncEngine conservation laws on random scatter patterns.
+// ---------------------------------------------------------------------------
+
+class EngineConservation
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(EngineConservation, AtomicCommitsConserveTotalMass) {
+  const auto [window, seed] = GetParam();
+  util::Rng rng(seed);
+  // Random sparse scatter patterns over a 64-entry shared vector.
+  constexpr std::size_t kCoords = 200;
+  std::vector<std::vector<sparse::Index>> patterns(kCoords);
+  std::vector<std::vector<float>> values(kCoords);
+  std::vector<double> deltas(kCoords);
+  double expected_mass = 0.0;
+  for (std::size_t j = 0; j < kCoords; ++j) {
+    const auto count = 1 + rng.uniform_index(5);
+    while (patterns[j].size() < count) {
+      const auto idx = static_cast<sparse::Index>(rng.uniform_index(64));
+      if (std::find(patterns[j].begin(), patterns[j].end(), idx) ==
+          patterns[j].end()) {
+        patterns[j].push_back(idx);
+      }
+    }
+    std::sort(patterns[j].begin(), patterns[j].end());
+    values[j].assign(patterns[j].size(), 1.0F);
+    deltas[j] = rng.uniform(-1.0, 1.0);
+    expected_mass += deltas[j] * static_cast<double>(count);
+  }
+
+  AsyncEngine engine(window, CommitPolicy::kAtomicAdd);
+  std::vector<float> shared(64, 0.0F);
+  auto order = util::identity_permutation(kCoords);
+  const auto stats = engine.run_epoch(
+      order,
+      [&](sparse::Index j, std::span<const float>) { return deltas[j]; },
+      [&](sparse::Index j) {
+        return sparse::SparseVectorView{patterns[j], values[j]};
+      },
+      [](sparse::Index, double) {}, shared);
+
+  // Conservation: with atomic adds and constant deltas, the total mass in
+  // the shared vector equals the sum of all contributions, regardless of
+  // the asynchrony window.
+  double mass = 0.0;
+  for (const auto v : shared) mass += v;
+  EXPECT_NEAR(mass, expected_mass, 1e-3);
+  EXPECT_EQ(stats.lost_entries, 0u);
+  EXPECT_EQ(stats.updates, kCoords);
+}
+
+TEST_P(EngineConservation, WildNeverGainsMass) {
+  const auto [window, seed] = GetParam();
+  util::Rng rng(seed + 77);
+  constexpr std::size_t kCoords = 150;
+  std::vector<std::vector<sparse::Index>> patterns(kCoords);
+  std::vector<std::vector<float>> values(kCoords);
+  double expected_mass = 0.0;
+  for (std::size_t j = 0; j < kCoords; ++j) {
+    const auto count = 1 + rng.uniform_index(4);
+    while (patterns[j].size() < count) {
+      const auto idx = static_cast<sparse::Index>(rng.uniform_index(32));
+      if (std::find(patterns[j].begin(), patterns[j].end(), idx) ==
+          patterns[j].end()) {
+        patterns[j].push_back(idx);
+      }
+    }
+    std::sort(patterns[j].begin(), patterns[j].end());
+    values[j].assign(patterns[j].size(), 1.0F);
+    expected_mass += static_cast<double>(count);
+  }
+
+  AsyncEngine engine(window, CommitPolicy::kLastWriterWins);
+  std::vector<float> shared(32, 0.0F);
+  auto order = util::identity_permutation(kCoords);
+  const auto stats = engine.run_epoch(
+      order, [](sparse::Index, std::span<const float>) { return 1.0; },
+      [&](sparse::Index j) {
+        return sparse::SparseVectorView{patterns[j], values[j]};
+      },
+      [](sparse::Index, double) {}, shared);
+
+  // With all-positive unit contributions, lost updates can only *reduce*
+  // the accumulated mass, by exactly one unit per lost entry.
+  double mass = 0.0;
+  for (const auto v : shared) mass += v;
+  EXPECT_NEAR(mass, expected_mass - static_cast<double>(stats.lost_entries),
+              1e-3);
+  if (window > 1) {
+    EXPECT_GT(stats.lost_entries, 0u);  // dense collisions on 32 entries
+  } else {
+    EXPECT_EQ(stats.lost_entries, 0u);  // sequential commits never race
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, EngineConservation,
+    ::testing::Combine(::testing::Values<std::size_t>(1u, 4u, 16u, 64u),
+                       ::testing::Values<std::uint64_t>(1ULL, 2ULL, 3ULL)));
+
+// ---------------------------------------------------------------------------
+// Solver-level invariants across regularisation strengths.
+// ---------------------------------------------------------------------------
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, PrimalAndDualAgreeAtTheirOptima) {
+  const double lambda = GetParam();
+  data::WebspamLikeConfig config;
+  config.num_examples = 256;
+  config.num_features = 128;
+  const auto dataset = data::make_webspam_like(config);
+  const RidgeProblem problem(dataset, lambda);
+
+  SeqScdSolver primal(problem, Formulation::kPrimal, 1);
+  SeqScdSolver dual(problem, Formulation::kDual, 1);
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    primal.run_epoch();
+    dual.run_epoch();
+  }
+  // Strong duality: P(beta*) == D(alpha*).
+  const double p_star = problem.primal_objective(primal.state().weights,
+                                                 primal.state().shared);
+  const auto beta_from_dual =
+      problem.primal_from_dual_shared(dual.state().shared);
+  const auto w_from_dual =
+      linalg::csr_matvec(dataset.by_row(), beta_from_dual);
+  const double p_via_dual =
+      problem.primal_objective(beta_from_dual, w_from_dual);
+  EXPECT_NEAR(p_star, p_via_dual, 1e-3 + 1e-2 * std::abs(p_star));
+}
+
+TEST_P(LambdaSweep, StrongerRegularisationShrinksTheModel) {
+  data::WebspamLikeConfig config;
+  config.num_examples = 256;
+  config.num_features = 128;
+  const auto dataset = data::make_webspam_like(config);
+  const double lambda = GetParam();
+  const RidgeProblem weak(dataset, lambda);
+  const RidgeProblem strong(dataset, lambda * 100.0);
+  SeqScdSolver strong_solver(strong, Formulation::kPrimal, 2);
+  SeqScdSolver weak_solver(weak, Formulation::kPrimal, 2);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    strong_solver.run_epoch();
+    weak_solver.run_epoch();
+  }
+  EXPECT_LT(linalg::squared_norm(
+                std::span<const float>(strong_solver.state().weights)),
+            linalg::squared_norm(
+                std::span<const float>(weak_solver.state().weights)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(1e-4, 1e-3, 1e-2));
+
+// ---------------------------------------------------------------------------
+// Failure injection: solvers must reject impossible inputs rather than
+// silently compute nonsense.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, EmptyDatasetIsRejectedEverywhere) {
+  sparse::CsrMatrix empty_matrix(0, 0, {0}, {}, {});
+  const data::Dataset empty("empty", std::move(empty_matrix), {});
+  EXPECT_THROW(RidgeProblem(empty, 0.1), std::invalid_argument);
+}
+
+TEST(FailureInjection, NanLabelsSurfaceInTheGapNotACrash) {
+  data::DenseGaussianConfig config;
+  config.num_examples = 16;
+  config.num_features = 8;
+  auto dataset = data::make_dense_gaussian(config);
+  std::vector<float> labels(dataset.labels().begin(),
+                            dataset.labels().end());
+  labels[3] = std::numeric_limits<float>::quiet_NaN();
+  const data::Dataset poisoned("poisoned", dataset.by_row(),
+                               std::move(labels));
+  const RidgeProblem problem(poisoned, 0.1);
+  SeqScdSolver solver(problem, Formulation::kPrimal, 1);
+  solver.run_epoch();  // must not crash
+  EXPECT_TRUE(std::isnan(solver.duality_gap(problem)));
+}
+
+}  // namespace
+}  // namespace tpa::core

@@ -1,0 +1,210 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tpa::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t state = 0;
+  const auto a = splitmix64_next(state);
+  const auto b = splitmix64_next(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64_next(state2), a);
+  EXPECT_EQ(splitmix64_next(state2), b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexStaysBelowBound) {
+  Rng rng(10);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.uniform_index(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIndexIsRoughlyUniform) {
+  Rng rng(11);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.15);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(12);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(14);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgesAreExact) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng(18);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.zipf(100, 1.1), 100u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.zipf(1, 1.1), 0u);
+  }
+}
+
+TEST(Rng, ZipfFavoursSmallIndices) {
+  Rng rng(19);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.zipf(64, 1.2)];
+  EXPECT_GT(counts[0], counts[8]);
+  EXPECT_GT(counts[0], counts[32]);
+  // Head mass: index 0 should hold a substantial share under s=1.2.
+  EXPECT_GT(counts[0], 100000 / 10);
+}
+
+TEST(Rng, ZipfHandlesUnitExponent) {
+  // s == 1 hits the logarithmic branch of rejection-inversion.
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.zipf(1000, 1.0), 1000u);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformIndexUnbiasedAcrossSeeds) {
+  Rng rng(GetParam());
+  const std::uint64_t bound = 7;
+  std::vector<int> counts(bound, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, n / 7.0 * 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL,
+                                           0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace tpa::util

@@ -1,0 +1,189 @@
+// COO builder, CSR and CSC construction/validation/access.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace tpa::sparse {
+namespace {
+
+TEST(CooBuilder, TracksDimensionsAndEntries) {
+  CooBuilder coo(3, 4);
+  EXPECT_EQ(coo.rows(), 3u);
+  EXPECT_EQ(coo.cols(), 4u);
+  EXPECT_EQ(coo.nnz(), 0u);
+  coo.add(0, 1, 2.0F);
+  coo.add(2, 3, -1.0F);
+  EXPECT_EQ(coo.nnz(), 2u);
+}
+
+TEST(CooBuilder, CoalesceSortsAndSumsDuplicates) {
+  CooBuilder coo(2, 2);
+  coo.add(1, 1, 1.0F);
+  coo.add(0, 0, 2.0F);
+  coo.add(1, 1, 3.0F);
+  coo.coalesce();
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 0, 2.0F}));
+  EXPECT_EQ(coo.entries()[1], (Triplet{1, 1, 4.0F}));
+}
+
+TEST(CooBuilder, CoalesceDropsCancellations) {
+  CooBuilder coo(1, 1);
+  coo.add(0, 0, 1.0F);
+  coo.add(0, 0, -1.0F);
+  coo.coalesce();
+  EXPECT_EQ(coo.nnz(), 0u);
+}
+
+TEST(CooBuilder, ClearKeepsDimensions) {
+  CooBuilder coo(2, 3);
+  coo.add(0, 0, 1.0F);
+  coo.clear();
+  EXPECT_EQ(coo.nnz(), 0u);
+  EXPECT_EQ(coo.rows(), 2u);
+}
+
+CsrMatrix small_csr() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 0 3 4 ]
+  return CsrMatrix(3, 3, {0, 2, 2, 4}, {0, 2, 1, 2},
+                   {1.0F, 2.0F, 3.0F, 4.0F});
+}
+
+TEST(CsrMatrix, BasicAccessors) {
+  const auto m = small_csr();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.row_nnz(0), 2u);
+  EXPECT_EQ(m.row_nnz(1), 0u);
+  EXPECT_EQ(m.row_nnz(2), 2u);
+}
+
+TEST(CsrMatrix, RowViews) {
+  const auto m = small_csr();
+  const auto row0 = m.row(0);
+  ASSERT_EQ(row0.nnz(), 2u);
+  EXPECT_EQ(row0.indices[0], 0u);
+  EXPECT_EQ(row0.indices[1], 2u);
+  EXPECT_EQ(row0.values[0], 1.0F);
+  EXPECT_EQ(row0.values[1], 2.0F);
+  EXPECT_EQ(m.row(1).nnz(), 0u);
+}
+
+TEST(CsrMatrix, PointLookup) {
+  const auto m = small_csr();
+  EXPECT_EQ(m.at(0, 0), 1.0F);
+  EXPECT_EQ(m.at(0, 1), 0.0F);
+  EXPECT_EQ(m.at(0, 2), 2.0F);
+  EXPECT_EQ(m.at(1, 1), 0.0F);
+  EXPECT_EQ(m.at(2, 2), 4.0F);
+}
+
+TEST(CsrMatrix, RowSquaredNorms) {
+  const auto norms = small_csr().row_squared_norms();
+  ASSERT_EQ(norms.size(), 3u);
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 0.0);
+  EXPECT_DOUBLE_EQ(norms[2], 25.0);
+}
+
+TEST(CsrMatrix, DefaultIsEmpty) {
+  const CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(CsrMatrix, RejectsWrongOffsetCount) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0F}), std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsIndexValueMismatch) {
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 2}, {0, 1}, {1.0F}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsOffsetNnzMismatch) {
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {0, 1}, {1.0F, 2.0F}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsDecreasingOffsets) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.0F, 2.0F}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsColumnOutOfRange) {
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {2}, {1.0F}), std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsUnsortedColumnsWithinRow) {
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 0}, {1.0F, 2.0F}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsDuplicateColumnsWithinRow) {
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {1, 1}, {1.0F, 2.0F}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, MemoryBytesCountsAllArrays) {
+  const auto m = small_csr();
+  EXPECT_EQ(m.memory_bytes(),
+            4 * sizeof(Offset) + 4 * sizeof(Index) + 4 * sizeof(Value));
+}
+
+CscMatrix small_csc() {
+  // Same logical matrix as small_csr().
+  return csr_to_csc(small_csr());
+}
+
+TEST(CscMatrix, BasicAccessors) {
+  const auto m = small_csc();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_EQ(m.col_nnz(0), 1u);
+  EXPECT_EQ(m.col_nnz(1), 1u);
+  EXPECT_EQ(m.col_nnz(2), 2u);
+}
+
+TEST(CscMatrix, ColumnViewsAndLookup) {
+  const auto m = small_csc();
+  const auto col2 = m.col(2);
+  ASSERT_EQ(col2.nnz(), 2u);
+  EXPECT_EQ(col2.indices[0], 0u);
+  EXPECT_EQ(col2.indices[1], 2u);
+  EXPECT_EQ(col2.values[0], 2.0F);
+  EXPECT_EQ(col2.values[1], 4.0F);
+  EXPECT_EQ(m.at(2, 1), 3.0F);
+  EXPECT_EQ(m.at(1, 1), 0.0F);
+}
+
+TEST(CscMatrix, ColSquaredNorms) {
+  const auto norms = small_csc().col_squared_norms();
+  ASSERT_EQ(norms.size(), 3u);
+  EXPECT_DOUBLE_EQ(norms[0], 1.0);
+  EXPECT_DOUBLE_EQ(norms[1], 9.0);
+  EXPECT_DOUBLE_EQ(norms[2], 20.0);
+}
+
+TEST(CscMatrix, RejectsUnsortedRowsWithinColumn) {
+  EXPECT_THROW(CscMatrix(3, 1, {0, 2}, {2, 0}, {1.0F, 2.0F}),
+               std::invalid_argument);
+}
+
+TEST(CscMatrix, RejectsRowOutOfRange) {
+  EXPECT_THROW(CscMatrix(2, 1, {0, 1}, {5}, {1.0F}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tpa::sparse

@@ -1,0 +1,92 @@
+#include "data/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+
+namespace tpa::data {
+namespace {
+
+Dataset corpus() {
+  WebspamLikeConfig config;
+  config.num_examples = 400;
+  config.num_features = 100;
+  config.avg_nnz_per_row = 8.0;
+  return make_webspam_like(config);
+}
+
+TEST(Split, TrainTestPartitionsAllExamples) {
+  const auto dataset = corpus();
+  util::Rng rng(1);
+  const auto split = train_test_split(dataset, 0.75, rng);
+  EXPECT_EQ(split.train.num_examples() + split.test.num_examples(),
+            dataset.num_examples());
+  EXPECT_EQ(split.train.nnz() + split.test.nnz(), dataset.nnz());
+  EXPECT_EQ(split.train.num_features(), dataset.num_features());
+  EXPECT_EQ(split.test.num_features(), dataset.num_features());
+}
+
+TEST(Split, FractionIsRespectedApproximately) {
+  const auto dataset = corpus();
+  util::Rng rng(2);
+  const auto split = train_test_split(dataset, 0.75, rng);
+  EXPECT_NEAR(static_cast<double>(split.train.num_examples()) /
+                  dataset.num_examples(),
+              0.75, 0.08);
+}
+
+TEST(Split, ExtremeFractions) {
+  const auto dataset = corpus();
+  util::Rng rng(3);
+  const auto all_train = train_test_split(dataset, 1.0, rng);
+  EXPECT_EQ(all_train.train.num_examples(), dataset.num_examples());
+  EXPECT_EQ(all_train.test.num_examples(), 0u);
+  const auto all_test = train_test_split(dataset, 0.0, rng);
+  EXPECT_EQ(all_test.train.num_examples(), 0u);
+}
+
+TEST(Split, TakeRowsPreservesContentAndOrder) {
+  const auto dataset = corpus();
+  const std::vector<Index> rows{5, 17, 99};
+  const auto subset = take_rows(dataset, rows, "_subset");
+  ASSERT_EQ(subset.num_examples(), 3u);
+  EXPECT_EQ(subset.name(), dataset.name() + "_subset");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(subset.labels()[i], dataset.labels()[rows[i]]);
+    const auto expected = dataset.by_row().row(rows[i]);
+    const auto actual = subset.by_row().row(static_cast<Index>(i));
+    ASSERT_EQ(actual.nnz(), expected.nnz());
+    for (std::size_t k = 0; k < expected.nnz(); ++k) {
+      EXPECT_EQ(actual.indices[k], expected.indices[k]);
+      EXPECT_EQ(actual.values[k], expected.values[k]);
+    }
+  }
+}
+
+TEST(Split, TakeRowsKeepsPaperScale) {
+  const auto dataset = corpus();
+  const std::vector<Index> rows{0, 1};
+  const auto subset = take_rows(dataset, rows, "_s");
+  EXPECT_EQ(subset.paper_scale().has_value(),
+            dataset.paper_scale().has_value());
+}
+
+TEST(Split, SampleRowsClampsAndSizes) {
+  const auto dataset = corpus();
+  util::Rng rng(4);
+  const auto sampled = sample_rows(dataset, 50, rng);
+  EXPECT_EQ(sampled.num_examples(), 50u);
+  const auto everything = sample_rows(dataset, 100000, rng);
+  EXPECT_EQ(everything.num_examples(), dataset.num_examples());
+}
+
+TEST(Split, SampleRowsDrawsWithoutReplacement) {
+  const auto dataset = corpus();
+  util::Rng rng(5);
+  const auto sampled = sample_rows(dataset, dataset.num_examples(), rng);
+  // Sampling all rows without replacement must reproduce the full nnz.
+  EXPECT_EQ(sampled.nnz(), dataset.nnz());
+}
+
+}  // namespace
+}  // namespace tpa::data

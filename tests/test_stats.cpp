@@ -1,0 +1,149 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tpa::util {
+namespace {
+
+TEST(RunningStats, EmptyAccumulatorIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+  EXPECT_EQ(stats.sum(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values{1.0, 2.0, 4.0, 8.0, -3.0, 0.5};
+  RunningStats stats;
+  double sum = 0.0;
+  for (const double v : values) {
+    stats.add(v);
+    sum += v;
+  }
+  const double mean = sum / values.size();
+  double m2 = 0.0;
+  for (const double v : values) m2 += (v - mean) * (v - mean);
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), m2 / values.size(), 1e-12);
+  EXPECT_EQ(stats.min(), -3.0);
+  EXPECT_EQ(stats.max(), 8.0);
+  EXPECT_NEAR(stats.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), 1.5, 1e-12);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_NEAR(c.mean(), 1.5, 1e-12);
+}
+
+class StatsMergeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(StatsMergeSweep, MergeEqualsSinglePass) {
+  const auto [left_count, right_count, seed] = GetParam();
+  Rng rng(seed);
+  RunningStats combined;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < left_count; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    combined.add(v);
+    left.add(v);
+  }
+  for (int i = 0; i < right_count; ++i) {
+    const double v = rng.normal(-1.0, 0.5);
+    combined.add(v);
+    right.add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-9);
+  EXPECT_EQ(left.min(), combined.min());
+  EXPECT_EQ(left.max(), combined.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StatsMergeSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1ULL),
+                      std::make_tuple(10, 1000, 2ULL),
+                      std::make_tuple(1000, 10, 3ULL),
+                      std::make_tuple(500, 500, 4ULL)));
+
+TEST(Quantile, EmptyReturnsZero) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, ExactOrderStatistics) {
+  const std::vector<double> values{4.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_EQ(quantile(values, 1.0), 4.0);
+  EXPECT_NEAR(quantile(values, 0.5), 2.5, 1e-12);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_EQ(quantile(values, -1.0), 1.0);
+  EXPECT_EQ(quantile(values, 2.0), 2.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_NEAR(median(std::vector<double>{1.0, 2.0, 3.0, 10.0}), 2.5, 1e-12);
+}
+
+TEST(Histogram, CountsSumToInputSize) {
+  const std::vector<double> values{0.0, 0.1, 0.5, 0.9, 1.0, 0.45};
+  const auto counts = histogram(values, 4);
+  std::size_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, values.size());
+}
+
+TEST(Histogram, MaxValueLandsInLastBucket) {
+  const std::vector<double> values{0.0, 1.0};
+  const auto counts = histogram(values, 10);
+  EXPECT_EQ(counts.front(), 1u);
+  EXPECT_EQ(counts.back(), 1u);
+}
+
+TEST(Histogram, DegenerateInputs) {
+  EXPECT_TRUE(histogram({}, 0).empty());
+  const auto all_zero = histogram({}, 3);
+  EXPECT_EQ(all_zero.size(), 3u);
+  for (const auto c : all_zero) EXPECT_EQ(c, 0u);
+  // All-equal values go to the first bucket.
+  const std::vector<double> same{2.0, 2.0, 2.0};
+  const auto counts = histogram(same, 4);
+  EXPECT_EQ(counts[0], 3u);
+}
+
+}  // namespace
+}  // namespace tpa::util

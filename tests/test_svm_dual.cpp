@@ -1,0 +1,128 @@
+// SVM / SDCA extension: duality gap closure, box feasibility, margin
+// behaviour, and async-window execution.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/svm_dual.hpp"
+#include "data/generators.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tpa::core {
+namespace {
+
+data::Dataset sign_labelled_corpus(data::Index examples,
+                                   data::Index features) {
+  data::WebspamLikeConfig config;
+  config.num_examples = examples;
+  config.num_features = features;
+  config.noise_sigma = 0.02;
+  auto corpus = data::make_webspam_like(config);
+  std::vector<float> signs(corpus.labels().begin(), corpus.labels().end());
+  for (auto& y : signs) y = y >= 0.0F ? 1.0F : -1.0F;
+  return data::Dataset("svm_corpus", corpus.by_row(), std::move(signs));
+}
+
+const data::Dataset& corpus() {
+  static const data::Dataset d = sign_labelled_corpus(512, 256);
+  return d;
+}
+
+TEST(SvmProblem, RejectsBadInputs) {
+  EXPECT_THROW(SvmProblem(corpus(), 0.0), std::invalid_argument);
+  data::DenseGaussianConfig config;
+  config.num_examples = 8;
+  config.num_features = 4;
+  const auto real_labels = data::make_dense_gaussian(config);
+  EXPECT_THROW(SvmProblem(real_labels, 0.1), std::invalid_argument);
+}
+
+TEST(SvmProblem, GapIsNonNegativeFromTheStart) {
+  const SvmProblem problem(corpus(), 1e-2);
+  const std::vector<float> alpha(problem.num_examples(), 0.0F);
+  const std::vector<float> v(problem.num_features(), 0.0F);
+  // At alpha = 0, v = 0: P = 1 (all hinge losses active), D = 0.
+  EXPECT_NEAR(problem.duality_gap(alpha, v), 1.0, 1e-6);
+}
+
+TEST(SvmDualSolver, GapShrinksTowardsZero) {
+  const SvmProblem problem(corpus(), 1e-2);
+  SvmDualSolver solver(problem, 1);
+  const double initial = solver.duality_gap();
+  for (int epoch = 0; epoch < 60; ++epoch) solver.run_epoch();
+  EXPECT_GE(solver.duality_gap(), -1e-6);
+  EXPECT_LT(solver.duality_gap(), initial * 0.02);
+}
+
+TEST(SvmDualSolver, AlphaStaysInBox) {
+  const SvmProblem problem(corpus(), 1e-3);
+  SvmDualSolver solver(problem, 2);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    solver.run_epoch();
+    EXPECT_TRUE(solver.alpha_in_box());
+  }
+}
+
+TEST(SvmDualSolver, WeightsStayConsistentWithAlpha) {
+  const SvmProblem problem(corpus(), 1e-2);
+  SvmDualSolver solver(problem, 3);
+  for (int epoch = 0; epoch < 10; ++epoch) solver.run_epoch();
+  // v == 1/(lambda N) * sum_n alpha_n y_n x_n up to float rounding.
+  const auto n = static_cast<double>(problem.num_examples());
+  std::vector<float> scaled(problem.num_examples());
+  for (data::Index i = 0; i < problem.num_examples(); ++i) {
+    scaled[i] = static_cast<float>(solver.alpha()[i] *
+                                   corpus().labels()[i] /
+                                   (problem.lambda() * n));
+  }
+  const auto expected =
+      linalg::csr_matvec_transposed(corpus().by_row(), scaled);
+  for (std::size_t m = 0; m < expected.size(); ++m) {
+    EXPECT_NEAR(solver.weights()[m], expected[m], 1e-3);
+  }
+}
+
+TEST(SvmDualSolver, LearnsToClassifyTheTrainingSet) {
+  const SvmProblem problem(corpus(), 1e-3);
+  SvmDualSolver solver(problem, 4);
+  for (int epoch = 0; epoch < 40; ++epoch) solver.run_epoch();
+  const auto predictions = predict(corpus(), solver.weights());
+  EXPECT_GT(sign_accuracy(predictions, corpus().labels()), 0.9);
+}
+
+TEST(SvmDualSolver, AsyncWindowMatchesSequentialQuality) {
+  const SvmProblem problem(corpus(), 1e-2);
+  SvmDualSolver sequential(problem, 5, 1);
+  SvmDualSolver async(problem, 5, 48);  // TPA-style execution
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    sequential.run_epoch();
+    async.run_epoch();
+  }
+  EXPECT_TRUE(async.alpha_in_box(1e-4));
+  EXPECT_NEAR(async.duality_gap(), sequential.duality_gap(), 5e-3);
+}
+
+TEST(SvmDualSolver, StrongerRegularisationShrinksWeights) {
+  const SvmProblem weak(corpus(), 1e-3);
+  const SvmProblem strong(corpus(), 1.0);
+  SvmDualSolver weak_solver(weak, 6);
+  SvmDualSolver strong_solver(strong, 6);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    weak_solver.run_epoch();
+    strong_solver.run_epoch();
+  }
+  EXPECT_LT(linalg::squared_norm(std::span<const float>(
+                strong_solver.weights())),
+            linalg::squared_norm(std::span<const float>(
+                weak_solver.weights())));
+}
+
+TEST(SvmDualSolver, EpochReportsWork) {
+  const SvmProblem problem(corpus(), 1e-2);
+  SvmDualSolver solver(problem, 7);
+  const auto report = solver.run_epoch();
+  EXPECT_EQ(report.coordinate_updates, problem.num_examples());
+  EXPECT_GT(report.sim_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace tpa::core

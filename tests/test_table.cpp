@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tpa::util {
+namespace {
+
+TEST(Table, PrintsHeaderSeparatorAndRows) {
+  Table table({"a", "bb"});
+  table.begin_row();
+  table.add_integer(1);
+  table.add_cell("x");
+  std::ostringstream out;
+  table.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("bb"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_NE(text.find("1"), std::string::npos);
+  EXPECT_NE(text.find("x"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table table({"col", "v"});
+  table.begin_row();
+  table.add_cell("short");
+  table.add_cell("1");
+  table.begin_row();
+  table.add_cell("much-longer-cell");
+  table.add_cell("2");
+  std::ostringstream out;
+  table.print(out);
+  std::istringstream lines(out.str());
+  std::string header;
+  std::string sep;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  // The second column starts at the same offset in both rows.
+  EXPECT_EQ(row1.find(" 1"), row2.find(" 2"));
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"x", "y"});
+  table.begin_row();
+  table.add_integer(1);
+  table.add_number(2.5);
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2.5\n");
+}
+
+TEST(Table, CsvPadsMissingCells) {
+  Table table({"x", "y"});
+  table.begin_row();
+  table.add_integer(1);
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,\n");
+}
+
+TEST(Table, FormatNumberChoosesNotation) {
+  EXPECT_EQ(Table::format_number(0.0), "0");
+  EXPECT_EQ(Table::format_number(1.0), "1");
+  EXPECT_EQ(Table::format_number(1234.0), "1234");
+  // Small magnitudes use scientific notation.
+  EXPECT_NE(Table::format_number(1e-6).find("e"), std::string::npos);
+  EXPECT_NE(Table::format_number(1e7).find("e"), std::string::npos);
+  // Negative values keep their sign.
+  EXPECT_EQ(Table::format_number(-2.5), "-2.5");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table table({"a", "b", "c"});
+  EXPECT_EQ(table.num_columns(), 3u);
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.begin_row();
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace tpa::util

@@ -1,0 +1,129 @@
+// TPA-SCD on the simulated GPU: convergence fidelity vs sequential SCD,
+// device-memory enforcement, setup accounting, per-device timing.
+#include <gtest/gtest.h>
+
+#include "core/seq_scd.hpp"
+#include "core/tpa_scd.hpp"
+#include "data/generators.hpp"
+
+namespace tpa::core {
+namespace {
+
+const data::Dataset& webspam_small() {
+  static const data::Dataset dataset = [] {
+    data::WebspamLikeConfig config;
+    config.num_examples = 4096;
+    config.num_features = 8192;
+    return data::make_webspam_like(config);
+  }();
+  return dataset;
+}
+
+TEST(TpaScd, NearSequentialConvergencePerEpoch) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+  for (const auto f : {Formulation::kPrimal, Formulation::kDual}) {
+    SeqScdSolver seq(problem, f, 3);
+    TpaScdSolver tpa(problem, f, 3);
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      seq.run_epoch();
+      tpa.run_epoch();
+    }
+    const double seq_gap = seq.duality_gap(problem);
+    const double tpa_gap = tpa.duality_gap(problem);
+    EXPECT_LT(tpa_gap, seq_gap * 20.0) << formulation_name(f);
+    EXPECT_GT(tpa_gap, 0.0);
+  }
+}
+
+TEST(TpaScd, SharedVectorStaysConsistentWithWeights) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+  TpaScdSolver tpa(problem, Formulation::kDual, 3);
+  for (int epoch = 0; epoch < 5; ++epoch) tpa.run_epoch();
+  // Atomic adds mean no updates are lost: w̄ == Aᵀα up to float rounding.
+  EXPECT_LT(tpa.state().shared_inconsistency(problem), 1e-3);
+}
+
+TEST(TpaScd, SetupChargesUploadTimeAndMemory) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+  TpaScdSolver tpa(problem, Formulation::kDual, 3);
+  EXPECT_GT(tpa.setup_sim_seconds(), 0.0);
+  EXPECT_GT(tpa.device_memory().allocated(), 0u);
+  EXPECT_LE(tpa.device_memory().allocated(),
+            tpa.device_memory().capacity());
+}
+
+TEST(TpaScd, RefusesDatasetLargerThanDeviceMemoryAtPaperScale) {
+  data::CriteoLikeConfig config;
+  config.num_examples = 256;
+  config.num_fields = 4;
+  config.buckets_per_field = 16;
+  const auto criteo = data::make_criteo_like(config);  // 39 GB paper scale
+  const RidgeProblem problem(criteo, 1e-3);
+  TpaScdOptions options;
+  options.device = gpusim::DeviceSpec::titan_x();  // 12 GB
+  options.charge_paper_scale_memory = true;
+  EXPECT_THROW(TpaScdSolver(problem, Formulation::kDual, 1, options),
+               gpusim::OutOfDeviceMemory);
+  // Without paper-scale charging, the scaled matrix fits comfortably.
+  options.charge_paper_scale_memory = false;
+  EXPECT_NO_THROW(TpaScdSolver(problem, Formulation::kDual, 1, options));
+}
+
+TEST(TpaScd, TitanXEpochIsFasterThanM4000) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+  TpaScdOptions m4000;
+  m4000.device = gpusim::DeviceSpec::quadro_m4000();
+  TpaScdSolver slow(problem, Formulation::kDual, 3, m4000);
+  TpaScdSolver fast(problem, Formulation::kDual, 3);  // Titan X default
+  const double t_m4000 = slow.run_epoch().sim_seconds;
+  const double t_titan = fast.run_epoch().sim_seconds;
+  EXPECT_LT(t_titan, t_m4000);
+}
+
+TEST(TpaScd, PaperScaleTimingIsUsedWhenAvailable) {
+  // webspam_small carries PaperScale; its simulated epoch must reflect the
+  // ~1e9-nnz full dataset, i.e. tens of milliseconds, not microseconds.
+  const RidgeProblem problem(webspam_small(), 1e-3);
+  TpaScdSolver tpa(problem, Formulation::kDual, 3);
+  const double epoch_seconds = tpa.run_epoch().sim_seconds;
+  EXPECT_GT(epoch_seconds, 0.01);
+  EXPECT_LT(epoch_seconds, 1.0);
+}
+
+TEST(TpaScd, DeterministicForFixedSeed) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+  TpaScdSolver a(problem, Formulation::kPrimal, 11);
+  TpaScdSolver b(problem, Formulation::kPrimal, 11);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    a.run_epoch();
+    b.run_epoch();
+  }
+  EXPECT_EQ(a.state().weights, b.state().weights);
+  EXPECT_EQ(a.state().shared, b.state().shared);
+}
+
+TEST(TpaScd, WindowOverrideControlsAsynchrony) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+  TpaScdOptions options;
+  options.async_window_override = 1;  // fully sequential execution
+  TpaScdSolver tpa(problem, Formulation::kDual, 3, options);
+  SeqScdSolver seq(problem, Formulation::kDual, 3);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    tpa.run_epoch();
+    seq.run_epoch();
+  }
+  // Same permutations and no staleness: only the intra-block float
+  // reduction order differs from the scalar loop.
+  EXPECT_NEAR(tpa.duality_gap(problem), seq.duality_gap(problem), 1e-5);
+}
+
+TEST(TpaScd, NameIdentifiesDevice) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+  TpaScdOptions options;
+  options.device = gpusim::DeviceSpec::quadro_m4000();
+  TpaScdSolver solver(problem, Formulation::kDual, 1, options);
+  EXPECT_NE(solver.name().find("M4000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpa::core

@@ -1,0 +1,15 @@
+# Integration test: train, save, reload, predict — all through the CLI.
+execute_process(
+  COMMAND ${TRAIN_BIN} --generate webspam --examples 512 --features 1024
+          --epochs 10 --workers 2 --adaptive --save ${WORK_DIR}/model.tpam
+  RESULT_VARIABLE train_result)
+if(NOT train_result EQUAL 0)
+  message(FATAL_ERROR "training run failed: ${train_result}")
+endif()
+execute_process(
+  COMMAND ${TRAIN_BIN} --generate webspam --examples 512 --features 1024
+          --load ${WORK_DIR}/model.tpam
+  RESULT_VARIABLE predict_result)
+if(NOT predict_result EQUAL 0)
+  message(FATAL_ERROR "predict run failed: ${predict_result}")
+endif()
