@@ -11,7 +11,9 @@
 #include "data/generators.hpp"
 #include "gpusim/block_context.hpp"
 #include "linalg/vector_ops.hpp"
+#include "serve/scorer.hpp"
 #include "util/permutation.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -97,6 +99,52 @@ void BM_CsrMatvec(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CsrMatvec);
+
+// ThreadPool::parallel_for scheduling: grain 1 reproduces the legacy
+// task-per-index dispatch (one queue push + mutex round-trip per element);
+// grain 0 is the chunked default (ceil(count/workers) elements per task).
+// The body is a cheap FMA so the measurement is dominated by scheduling
+// overhead — the quantity the chunked satellite exists to remove.
+void BM_ParallelForScheduling(benchmark::State& state) {
+  util::ThreadPool pool(8);
+  const std::size_t count = 1 << 14;
+  const auto grain = static_cast<std::size_t>(state.range(0));
+  std::vector<float> out(count, 0.0F);
+  for (auto _ : state) {
+    pool.parallel_for(
+        count,
+        [&out](std::size_t i) {
+          out[i] = out[i] * 0.5F + static_cast<float>(i);
+        },
+        grain);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["elems/s"] = benchmark::Counter(
+      static_cast<double>(count) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelForScheduling)
+    ->Arg(1)      // before: task per index
+    ->Arg(64)     // explicit medium grain
+    ->Arg(0)      // after: one chunk per worker
+    ->ArgName("grain");
+
+// The serving scorer's whole-matrix path: chunked parallel_for over rows.
+void BM_ScoreMatrix(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  std::vector<float> beta(dataset.num_features(), 0.25F);
+  serve::ServableModel model;
+  model.beta = std::move(beta);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        serve::score_matrix(pool, dataset.by_row(), model));
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(dataset.num_examples()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScoreMatrix)->Arg(1)->Arg(4)->Arg(8)->ArgName("threads");
 
 void BM_SeqScdEpoch(benchmark::State& state) {
   const auto& dataset = bench_dataset();

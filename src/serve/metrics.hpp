@@ -1,0 +1,90 @@
+// Serving metrics: lock-free counters plus a fixed-bucket latency histogram.
+//
+// Every recording path is a relaxed atomic increment, so request threads and
+// batch workers never contend on a lock.  Quantiles (p50/p95/p99) come from a
+// snapshot walk over the power-of-two microsecond buckets; a reported value
+// is the upper edge of the bucket holding the target rank, i.e. exact to
+// within one 2x bucket.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/timer.hpp"
+
+namespace tpa::serve {
+
+/// Histogram over [1µs, ~4295s): bucket b counts latencies in
+/// [2^b, 2^(b+1)) microseconds; under/overflows land in the edge buckets.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(double seconds) noexcept;
+
+  std::uint64_t total_count() const noexcept;
+
+  /// Latency (µs) at quantile q in [0, 1]: upper edge of the bucket that
+  /// contains the rank.  Returns 0 when empty.
+  double quantile_us(double q) const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of every serving counter, with derived rates.
+struct StatsSnapshot {
+  std::uint64_t accepted = 0;    // requests admitted to the queue
+  std::uint64_t rejected = 0;    // requests shed (queue full / no model)
+  std::uint64_t completed = 0;   // predictions delivered
+  std::uint64_t batches = 0;     // batches executed
+  std::uint64_t reloads = 0;     // model publications observed
+  double wall_seconds = 0.0;     // since metrics construction / reset
+  double throughput_rps = 0.0;   // completed / wall_seconds
+  double mean_batch_size = 0.0;  // completed / batches
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+
+  /// One-line human-readable rendering for logs and CLI output.
+  std::string summary() const;
+};
+
+class ServingMetrics {
+ public:
+  void record_accept() noexcept {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_reject() noexcept {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_reload() noexcept {
+    reloads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Records one executed batch of `size` completed predictions.
+  void record_batch(std::size_t size) noexcept {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(size, std::memory_order_relaxed);
+  }
+  /// Records one request's enqueue-to-completion latency.
+  void record_latency(double seconds) noexcept { latency_.record(seconds); }
+
+  std::uint64_t batches() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
+  StatsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  LatencyHistogram latency_;
+  util::WallTimer clock_;
+};
+
+}  // namespace tpa::serve

@@ -1,0 +1,122 @@
+#include "serve/request_batcher.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace tpa::serve {
+
+const char* admission_name(Admission a) noexcept {
+  switch (a) {
+    case Admission::kAccepted:
+      return "accepted";
+    case Admission::kQueueFull:
+      return "queue-full";
+    case Admission::kNoModel:
+      return "no-model";
+    case Admission::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+RequestBatcher::RequestBatcher(BatcherConfig config, util::ThreadPool& pool,
+                               BatchFn on_batch)
+    : config_(config), pool_(pool), on_batch_(std::move(on_batch)) {
+  if (config_.max_batch_size == 0) config_.max_batch_size = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.max_inflight_batches == 0) {
+    config_.max_inflight_batches = 2 * pool_.size();
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+RequestBatcher::~RequestBatcher() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_event_.notify_all();
+  dispatcher_.join();
+  // The dispatcher flushed the queue before exiting; wait for the last
+  // batches to finish executing so on_batch_ never outlives this object.
+  drain();
+}
+
+SubmitResult RequestBatcher::submit(sparse::SparseVectorView row) {
+  SubmitResult result;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      result.status = Admission::kShutdown;
+      return result;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      result.status = Admission::kQueueFull;
+      return result;
+    }
+    Request request;
+    request.row = row;
+    request.enqueued = std::chrono::steady_clock::now();
+    result.prediction = request.result.get_future();
+    result.status = Admission::kAccepted;
+    queue_.push_back(std::move(request));
+  }
+  queue_event_.notify_one();
+  return result;
+}
+
+void RequestBatcher::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  inflight_event_.wait(
+      lock, [this] { return queue_.empty() && inflight_batches_ == 0; });
+}
+
+std::size_t RequestBatcher::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void RequestBatcher::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    queue_event_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Wait out the coalescing window: until the batch fills or the oldest
+    // request's deadline passes.  Shutdown flushes immediately.
+    const auto deadline = queue_.front().enqueued + config_.max_wait;
+    while (!stopping_ && queue_.size() < config_.max_batch_size) {
+      if (queue_event_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    // Backpressure: hold the batch until an execution slot frees up, letting
+    // the queue fill and admission control start shedding.
+    inflight_event_.wait(lock, [this] {
+      return inflight_batches_ < config_.max_inflight_batches;
+    });
+    auto batch = std::make_shared<std::vector<Request>>();
+    const std::size_t take =
+        std::min(queue_.size(), config_.max_batch_size);
+    batch->reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++inflight_batches_;
+    lock.unlock();
+    pool_.submit([this, batch] {
+      on_batch_(*batch);
+      // Notify under the lock: drain() may destroy this batcher the moment
+      // the predicate holds, so the cv must not be touched after unlock.
+      const std::lock_guard<std::mutex> inner(mutex_);
+      --inflight_batches_;
+      inflight_event_.notify_all();
+    });
+    lock.lock();
+  }
+}
+
+}  // namespace tpa::serve

@@ -1,0 +1,105 @@
+// Request batcher: a bounded MPSC queue that coalesces single-row scoring
+// requests into batches and executes them on ThreadPool workers.
+//
+// Any number of producer threads call submit(); one dispatcher thread pops
+// requests, forms a batch when either max_batch_size requests are waiting or
+// the oldest request has waited max_wait, and hands the batch to the pool.
+// Backpressure is two-staged:
+//   - admission control: submit() sheds load with a typed Admission verdict
+//     (no blocking) once queue_capacity requests are waiting;
+//   - in-flight cap: the dispatcher stalls — letting the queue fill and
+//     admissions start rejecting — when max_inflight_batches batches are
+//     already executing, so a slow scorer cannot build an unbounded backlog
+//     inside the pool.
+// Shutdown drains: every accepted request is executed before the dispatcher
+// exits, so a caller that holds a future always sees it resolve.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tpa::serve {
+
+/// Typed admission verdict for one submitted request.
+enum class Admission {
+  kAccepted,     // queued; the future will resolve
+  kQueueFull,    // shed by admission control — retry later
+  kNoModel,      // nothing published yet (used by Server)
+  kShutdown,     // batcher is stopping
+};
+
+const char* admission_name(Admission a) noexcept;
+
+/// One queued scoring request.  The row view aliases caller-owned storage,
+/// which must stay alive until the future resolves.
+struct Request {
+  sparse::SparseVectorView row;
+  std::promise<float> result;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+struct SubmitResult {
+  Admission status = Admission::kShutdown;
+  std::future<float> prediction;  // valid only when accepted
+
+  bool accepted() const noexcept { return status == Admission::kAccepted; }
+};
+
+struct BatcherConfig {
+  std::size_t max_batch_size = 64;
+  std::chrono::microseconds max_wait{200};
+  std::size_t queue_capacity = 1024;
+  std::size_t max_inflight_batches = 0;  // 0 = 2 × pool workers
+};
+
+class RequestBatcher {
+ public:
+  /// `on_batch` runs on a pool worker with exclusive ownership of the batch;
+  /// it must fulfil every request's promise.  It must not submit work back
+  /// to `pool` (the pool is shared with other in-flight batches).
+  using BatchFn = std::function<void(std::vector<Request>&)>;
+
+  RequestBatcher(BatcherConfig config, util::ThreadPool& pool,
+                 BatchFn on_batch);
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+  /// Stops admissions, drains every accepted request, joins the dispatcher.
+  ~RequestBatcher();
+
+  /// Non-blocking admission: rejects with kQueueFull / kShutdown instead of
+  /// waiting.  Thread-safe.
+  SubmitResult submit(sparse::SparseVectorView row);
+
+  /// Blocks until the queue is empty and no batch is executing.
+  void drain();
+
+  /// Number of requests currently waiting (diagnostic).
+  std::size_t queued() const;
+
+ private:
+  void dispatcher_loop();
+
+  BatcherConfig config_;
+  util::ThreadPool& pool_;
+  BatchFn on_batch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_event_;     // dispatcher wake-ups
+  std::condition_variable inflight_event_;  // batch completions / drain
+  std::deque<Request> queue_;
+  std::size_t inflight_batches_ = 0;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace tpa::serve

@@ -1,0 +1,106 @@
+#include "serve/scorer.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace tpa::serve {
+namespace {
+
+using sparse::Index;
+using sparse::Value;
+
+/// Contiguous-index rows read beta as a dense subrange: no gather, and the
+/// compiler emits packed mul/add over both arrays.
+double score_dense_span(std::span<const Value> values,
+                        std::span<const float> beta_slice) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t k = 0;
+  const std::size_t n4 = values.size() & ~std::size_t{3};
+  for (; k < n4; k += 4) {
+    acc0 += static_cast<double>(values[k]) * beta_slice[k];
+    acc1 += static_cast<double>(values[k + 1]) * beta_slice[k + 1];
+    acc2 += static_cast<double>(values[k + 2]) * beta_slice[k + 2];
+    acc3 += static_cast<double>(values[k + 3]) * beta_slice[k + 3];
+  }
+  for (; k < values.size(); ++k) {
+    acc0 += static_cast<double>(values[k]) * beta_slice[k];
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+double score_gather(std::span<const Index> indices,
+                    std::span<const Value> values,
+                    std::span<const float> beta) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t k = 0;
+  const std::size_t n4 = indices.size() & ~std::size_t{3};
+  for (; k < n4; k += 4) {
+    acc0 += static_cast<double>(values[k]) * beta[indices[k]];
+    acc1 += static_cast<double>(values[k + 1]) * beta[indices[k + 1]];
+    acc2 += static_cast<double>(values[k + 2]) * beta[indices[k + 2]];
+    acc3 += static_cast<double>(values[k + 3]) * beta[indices[k + 3]];
+  }
+  for (; k < indices.size(); ++k) {
+    acc0 += static_cast<double>(values[k]) * beta[indices[k]];
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+}  // namespace
+
+double score_row(const sparse::SparseVectorView& row,
+                 std::span<const float> beta) {
+  auto indices = row.indices;
+  auto values = row.values;
+  if (indices.empty() || beta.empty()) return 0.0;
+  // Clip to the model width: column indices are strictly increasing within a
+  // row, so entries past the first out-of-range index can all be dropped.
+  if (static_cast<std::size_t>(indices.back()) >= beta.size()) {
+    std::size_t in_range = 0;
+    while (in_range < indices.size() &&
+           static_cast<std::size_t>(indices[in_range]) < beta.size()) {
+      ++in_range;
+    }
+    indices = indices.first(in_range);
+    values = values.first(in_range);
+    if (indices.empty()) return 0.0;
+  }
+  const std::size_t width =
+      static_cast<std::size_t>(indices.back()) -
+      static_cast<std::size_t>(indices.front()) + 1;
+  if (width == indices.size()) {
+    return score_dense_span(
+        values, beta.subspan(static_cast<std::size_t>(indices.front()),
+                             indices.size()));
+  }
+  return score_gather(indices, values, beta);
+}
+
+void score_rows(const sparse::CsrMatrix& matrix, Index begin, Index end,
+                std::span<const float> beta, std::span<float> out) {
+  if (begin > end || end > matrix.rows()) {
+    throw std::out_of_range("score_rows: bad row range");
+  }
+  if (out.size() < static_cast<std::size_t>(end - begin)) {
+    throw std::invalid_argument("score_rows: output span too small");
+  }
+  for (Index r = begin; r < end; ++r) {
+    out[static_cast<std::size_t>(r - begin)] =
+        static_cast<float>(score_row(matrix.row(r), beta));
+  }
+}
+
+std::vector<float> score_matrix(util::ThreadPool& pool,
+                                const sparse::CsrMatrix& matrix,
+                                const ServableModel& model) {
+  std::vector<float> out(static_cast<std::size_t>(matrix.rows()));
+  pool.parallel_for_chunks(
+      out.size(), [&](std::size_t begin, std::size_t end) {
+        score_rows(matrix, static_cast<Index>(begin), static_cast<Index>(end),
+                   model.beta, std::span<float>(out).subspan(begin));
+      });
+  return out;
+}
+
+}  // namespace tpa::serve

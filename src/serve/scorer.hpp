@@ -1,0 +1,43 @@
+// Sparse scoring engine: ŷ = A·β for batches of CSR rows against the dense
+// weights of a ServableModel.
+//
+// Two row kernels, chosen per row:
+//   - gather path: indices are scattered, so the inner loop gathers
+//     beta[indices[k]]; written with four independent accumulators to expose
+//     instruction-level parallelism.
+//   - dense fast path: when a row's column indices are contiguous (common for
+//     the dense numeric block of criteo-style rows), the loop reads a straight
+//     beta subrange — no gather, auto-vectorises to packed SIMD.
+// Rows whose indices exceed the model width score the overlapping prefix and
+// ignore the rest (a serving model may be narrower than live traffic).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "serve/servable_model.hpp"
+#include "sparse/csr.hpp"
+
+namespace tpa::util {
+class ThreadPool;
+}
+
+namespace tpa::serve {
+
+/// ⟨row, β⟩ accumulated in double.  Out-of-range indices contribute zero.
+double score_row(const sparse::SparseVectorView& row,
+                 std::span<const float> beta);
+
+/// Scores rows [begin, end) of `matrix` into out[i - begin].
+/// `out` must hold end - begin entries.
+void score_rows(const sparse::CsrMatrix& matrix, sparse::Index begin,
+                sparse::Index end, std::span<const float> beta,
+                std::span<float> out);
+
+/// Whole-matrix batch scoring, parallelised across `pool` with chunked
+/// scheduling (one contiguous row range per worker).
+std::vector<float> score_matrix(util::ThreadPool& pool,
+                                const sparse::CsrMatrix& matrix,
+                                const ServableModel& model);
+
+}  // namespace tpa::serve

@@ -1,0 +1,30 @@
+#include "serve/servable_model.hpp"
+
+#include <stdexcept>
+
+namespace tpa::serve {
+
+ServableModel ServableModel::from_saved(const core::SavedModel& saved,
+                                        std::uint64_t version) {
+  ServableModel model;
+  model.version = version;
+  model.lambda = saved.lambda;
+  model.trained_as = saved.formulation;
+  if (saved.formulation == core::Formulation::kPrimal) {
+    model.beta = saved.weights;
+  } else {
+    if (saved.lambda <= 0.0) {
+      throw std::invalid_argument(
+          "servable model: dual model requires lambda > 0");
+    }
+    const float inv_lambda = static_cast<float>(1.0 / saved.lambda);
+    model.beta.reserve(saved.shared.size());
+    for (const float wbar : saved.shared) model.beta.push_back(wbar * inv_lambda);
+  }
+  if (model.beta.empty()) {
+    throw std::invalid_argument("servable model: no usable weights");
+  }
+  return model;
+}
+
+}  // namespace tpa::serve

@@ -1,0 +1,74 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "serve/scorer.hpp"
+#include "util/logging.hpp"
+
+namespace tpa::serve {
+
+Server::Server(ServerConfig config)
+    : config_(config), pool_(config.threads) {
+  batcher_ = std::make_unique<RequestBatcher>(
+      config_.batcher, pool_,
+      [this](std::vector<Request>& batch) { execute_batch(batch); });
+}
+
+std::uint64_t Server::publish(const core::SavedModel& saved) {
+  const auto version = registry_.publish(saved);
+  metrics_.record_reload();
+  TPA_LOG_INFO << "serve: published model v" << version;
+  return version;
+}
+
+std::uint64_t Server::reload(const std::string& path) {
+  const auto version = registry_.publish_file(path);
+  metrics_.record_reload();
+  TPA_LOG_INFO << "serve: reloaded " << path << " as model v" << version;
+  return version;
+}
+
+SubmitResult Server::submit(sparse::SparseVectorView row) {
+  if (registry_.current() == nullptr) {
+    SubmitResult result;
+    result.status = Admission::kNoModel;
+    metrics_.record_reject();
+    return result;
+  }
+  auto result = batcher_->submit(row);
+  if (result.accepted()) {
+    metrics_.record_accept();
+  } else {
+    metrics_.record_reject();
+  }
+  return result;
+}
+
+void Server::execute_batch(std::vector<Request>& batch) {
+  // One model snapshot per batch: a publish() racing with this batch either
+  // lands before (whole batch scores on the new weights) or after (batch
+  // finishes on the old weights, freed with the last reference).
+  const auto model = registry_.current();
+  const auto done = std::chrono::steady_clock::now;
+  for (auto& request : batch) {
+    if (model == nullptr) {
+      // Only reachable if a request was accepted before any publish — the
+      // Server guards that, but fail loudly rather than fabricate a score.
+      request.result.set_exception(std::make_exception_ptr(
+          std::runtime_error("serve: no model published")));
+      continue;
+    }
+    request.result.set_value(
+        static_cast<float>(score_row(request.row, model->beta)));
+    metrics_.record_latency(
+        std::chrono::duration<double>(done() - request.enqueued).count());
+  }
+  metrics_.record_batch(batch.size());
+  if (config_.log_every_batches != 0 &&
+      metrics_.batches() % config_.log_every_batches == 0) {
+    TPA_LOG_INFO << "serve: " << metrics_.snapshot().summary();
+  }
+}
+
+}  // namespace tpa::serve

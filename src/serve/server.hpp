@@ -1,0 +1,69 @@
+// The serving front end: registry + batcher + scorer + metrics behind one
+// object.
+//
+// Lifecycle: construct, publish at least one model, then submit single-row
+// requests from any number of threads.  The batcher coalesces them, a pool
+// worker snapshots the live model once per batch and scores every row
+// against it, and each request's future resolves with ŷ.  A trainer can
+// publish() / reload() at any time: in-flight batches finish on the version
+// they snapshotted, later batches see the new weights — accepted requests
+// are never dropped by a reload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/metrics.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request_batcher.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tpa::serve {
+
+struct ServerConfig {
+  std::size_t threads = 4;  // pool workers executing batches
+  BatcherConfig batcher;
+  std::uint64_t log_every_batches = 0;  // 0 = no periodic stats logging
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  /// Drains every accepted request before tearing down.
+  ~Server() = default;
+
+  /// Publishes a model (atomic hot-reload); returns the new version.
+  std::uint64_t publish(const core::SavedModel& saved);
+  /// Loads and publishes a .tpam file; throws on a bad file (old model
+  /// stays live).
+  std::uint64_t reload(const std::string& path);
+
+  const ModelRegistry& registry() const noexcept { return registry_; }
+
+  /// Admission-controlled single-row scoring.  Returns kNoModel before the
+  /// first publish, kQueueFull under load; accepted rows resolve their
+  /// future once a batch executes them.  The row view must stay alive until
+  /// then.  Thread-safe.
+  SubmitResult submit(sparse::SparseVectorView row);
+
+  /// Blocks until everything accepted so far has completed.
+  void drain() { batcher_->drain(); }
+
+  StatsSnapshot stats() const { return metrics_.snapshot(); }
+
+  util::ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  void execute_batch(std::vector<Request>& batch);
+
+  ServerConfig config_;
+  ModelRegistry registry_;
+  ServingMetrics metrics_;
+  util::ThreadPool pool_;
+  std::unique_ptr<RequestBatcher> batcher_;  // destroyed before pool_
+};
+
+}  // namespace tpa::serve

@@ -1,0 +1,14 @@
+#include "sparse/load.hpp"
+
+#include "sparse/io_binary.hpp"
+
+namespace tpa::sparse {
+
+LabeledMatrix load_labeled_file(const std::string& path, Index num_features) {
+  const bool is_binary =
+      path.size() > 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+  return is_binary ? read_binary_file(path)
+                   : read_svmlight_file(path, num_features);
+}
+
+}  // namespace tpa::sparse

@@ -1,0 +1,21 @@
+// Format-sniffing dataset loader shared by the CLI tools.
+//
+// Both tpascd_train and tpascd_serve accept either our ".bin" cache format
+// or svmlight text; the extension decides which reader runs.
+#pragma once
+
+#include <string>
+
+#include "sparse/io_svmlight.hpp"
+
+namespace tpa::sparse {
+
+/// Loads a labelled matrix from `path`: the ".bin" extension selects the
+/// binary cache reader, anything else parses as svmlight text.
+/// `num_features` forces the column count for svmlight (0 = infer); it is
+/// ignored for binary files, which store their own shape.  Throws
+/// std::runtime_error on unreadable or malformed files.
+LabeledMatrix load_labeled_file(const std::string& path,
+                                Index num_features = 0);
+
+}  // namespace tpa::sparse

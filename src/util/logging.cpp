@@ -53,6 +53,11 @@ LogLevel parse_log_level(const std::string& name) {
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
   if (lower == "off" || lower == "none") return LogLevel::kOff;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    log_message(LogLevel::kWarn,
+                "unknown log level \"" + name + "\"; defaulting to info");
+  }
   return LogLevel::kInfo;
 }
 

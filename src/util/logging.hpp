@@ -17,7 +17,7 @@ LogLevel log_level() noexcept;
 void log_message(LogLevel level, const std::string& message);
 
 /// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive); returns
-/// kInfo for unknown strings.
+/// kInfo for unknown strings, emitting a one-time warning naming the value.
 LogLevel parse_log_level(const std::string& name);
 
 namespace detail {

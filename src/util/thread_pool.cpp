@@ -36,9 +36,30 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < count; ++i) {
-    submit([&fn, i] { fn(i); });
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_chunks(
+      count,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (count == 0) return;
+  if (grain == 0) grain = (count + size() - 1) / size();
+  grain = std::max<std::size_t>(1, grain);
+  if (grain >= count) {
+    // One chunk: run inline, skipping the queue entirely.
+    fn(0, count);
+    return;
+  }
+  for (std::size_t begin = 0; begin < count; begin += grain) {
+    const std::size_t end = std::min(begin + grain, count);
+    submit([&fn, begin, end] { fn(begin, end); });
   }
   wait_idle();
 }

@@ -31,8 +31,23 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs fn(i) for i in [0, count) across the pool and waits.
+  ///
+  /// Indices are scheduled in contiguous chunks of `grain` so each enqueued
+  /// task (and its mutex round-trip) amortises over many iterations.  A grain
+  /// of 0 picks ceil(count / workers) — one task per worker — which is the
+  /// right default for uniform per-index cost; pass a smaller grain for
+  /// skewed workloads, or 1 to recover the legacy task-per-index behaviour.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Chunked variant: runs fn(begin, end) over disjoint ranges covering
+  /// [0, count) and waits.  Grain semantics as above.  This is the zero-per-
+  /// index-overhead building block `parallel_for` wraps.
+  void parallel_for_chunks(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 0);
 
  private:
   void worker_loop();

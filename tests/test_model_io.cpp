@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "core/metrics.hpp"
@@ -71,6 +73,69 @@ TEST(ModelIo, DetectsTruncation) {
 
 TEST(ModelIo, MissingFileThrows) {
   EXPECT_THROW(read_model_file("/no/such/model.tpam"), std::runtime_error);
+}
+
+// File-level failure paths: the serving registry reloads models from disk,
+// so a half-written or bit-flipped .tpam on the filesystem must be rejected
+// exactly like the stream-level cases above.
+
+class ModelIoFileCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() / "tpa_model_corrupt.tpam")
+                .string();
+    write_model_file(path_, sample_model());
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void rewrite(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(ModelIoFileCorruption, TruncatedFileThrows) {
+  // Every prefix shorter than the full file must fail, including cutting
+  // into the trailing checksum itself.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{2}, std::size_t{10}, bytes_.size() - 20,
+        bytes_.size() - 1}) {
+    rewrite(bytes_.substr(0, keep));
+    EXPECT_THROW(read_model_file(path_), std::runtime_error) << keep;
+  }
+}
+
+TEST_F(ModelIoFileCorruption, CorruptedChecksumThrows) {
+  auto corrupted = bytes_;
+  corrupted.back() ^= 0x01;  // stored checksum no longer matches
+  rewrite(corrupted);
+  EXPECT_THROW(read_model_file(path_), std::runtime_error);
+}
+
+TEST_F(ModelIoFileCorruption, CorruptedPayloadThrows) {
+  auto corrupted = bytes_;
+  corrupted[corrupted.size() / 2] ^= 0x80;  // flip a weight bit
+  rewrite(corrupted);
+  EXPECT_THROW(read_model_file(path_), std::runtime_error);
+}
+
+TEST_F(ModelIoFileCorruption, WrongMagicThrows) {
+  auto corrupted = bytes_;
+  corrupted[0] = 'X';  // "XPAM"
+  rewrite(corrupted);
+  EXPECT_THROW(read_model_file(path_), std::runtime_error);
+}
+
+TEST_F(ModelIoFileCorruption, ForeignFormatMagicThrows) {
+  // A dataset cache file ("TPA1") is not a model ("TPAM").
+  rewrite("TPA1some-other-payload");
+  EXPECT_THROW(read_model_file(path_), std::runtime_error);
 }
 
 TEST(ModelIo, TrainedDualModelPredictsAfterReload) {

@@ -1,0 +1,464 @@
+// Serving subsystem: model normalisation, the sparse scoring kernels, the
+// hot-reload registry, serving metrics, and the batcher's concurrency edges
+// (coalescing, queue-full shedding, reload during an in-flight batch).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "data/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request_batcher.hpp"
+#include "serve/scorer.hpp"
+#include "serve/server.hpp"
+
+namespace tpa::serve {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::Index;
+
+core::SavedModel primal_model(std::vector<float> beta, double lambda = 1e-3) {
+  core::SavedModel model;
+  model.formulation = core::Formulation::kPrimal;
+  model.lambda = lambda;
+  model.weights = std::move(beta);
+  return model;
+}
+
+CsrMatrix two_row_matrix() {
+  // Row 0 is scattered (gather path), row 1 is contiguous (dense fast path).
+  return CsrMatrix(2, 8, {0, 3, 7}, {0, 3, 6, 2, 3, 4, 5},
+                   {1.0F, 2.0F, -1.0F, 0.5F, 1.5F, -2.0F, 4.0F});
+}
+
+TEST(ServableModel, PrimalWeightsPassThrough) {
+  const auto model =
+      ServableModel::from_saved(primal_model({1.0F, -2.0F, 3.0F}, 0.5), 7);
+  EXPECT_EQ(model.version, 7u);
+  EXPECT_EQ(model.trained_as, core::Formulation::kPrimal);
+  EXPECT_EQ(model.beta, (std::vector<float>{1.0F, -2.0F, 3.0F}));
+}
+
+TEST(ServableModel, DualMapsSharedThroughEq5) {
+  core::SavedModel saved;
+  saved.formulation = core::Formulation::kDual;
+  saved.lambda = 0.5;
+  saved.weights = {9.0F, 9.0F};       // dual alphas: not used for scoring
+  saved.shared = {1.0F, -0.5F, 2.0F};  // w̄ = Aᵀα
+  const auto model = ServableModel::from_saved(saved, 1);
+  EXPECT_EQ(model.beta, (std::vector<float>{2.0F, -1.0F, 4.0F}));
+}
+
+TEST(ServableModel, RejectsDualWithoutLambda) {
+  core::SavedModel saved;
+  saved.formulation = core::Formulation::kDual;
+  saved.lambda = 0.0;
+  saved.shared = {1.0F};
+  EXPECT_THROW(ServableModel::from_saved(saved, 1), std::invalid_argument);
+}
+
+TEST(ServableModel, RejectsEmptyWeights) {
+  EXPECT_THROW(ServableModel::from_saved(primal_model({}), 1),
+               std::invalid_argument);
+}
+
+TEST(Scorer, MatchesSparseDotOnBothKernelPaths) {
+  const auto matrix = two_row_matrix();
+  const std::vector<float> beta = {0.5F, 1.0F, -1.0F, 2.0F,
+                                   0.25F, -0.5F, 3.0F, 1.0F};
+  for (Index r = 0; r < matrix.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(score_row(matrix.row(r), beta),
+                     linalg::sparse_dot(matrix.row(r), beta));
+  }
+}
+
+TEST(Scorer, EmptyRowAndEmptyModelScoreZero) {
+  const CsrMatrix matrix(1, 4, {0, 0}, {}, {});
+  const std::vector<float> beta = {1.0F, 1.0F, 1.0F, 1.0F};
+  EXPECT_EQ(score_row(matrix.row(0), beta), 0.0);
+  EXPECT_EQ(score_row(two_row_matrix().row(0), {}), 0.0);
+}
+
+TEST(Scorer, ClipsRowsWiderThanModel) {
+  const auto matrix = two_row_matrix();
+  // Model covers only columns [0, 4): row 0 keeps indices 0 and 3, dropping
+  // column 6; row 1 keeps columns 2 and 3.
+  const std::vector<float> beta = {1.0F, 1.0F, 1.0F, 1.0F};
+  EXPECT_DOUBLE_EQ(score_row(matrix.row(0), beta), 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(score_row(matrix.row(1), beta), 0.5 + 1.5);
+}
+
+TEST(Scorer, ScoreRowsValidatesRangeAndOutput) {
+  const auto matrix = two_row_matrix();
+  const std::vector<float> beta(8, 1.0F);
+  std::vector<float> out(1);
+  EXPECT_THROW(score_rows(matrix, 0, 3, beta, out), std::out_of_range);
+  EXPECT_THROW(score_rows(matrix, 0, 2, beta, out), std::invalid_argument);
+}
+
+TEST(Scorer, ScoreMatrixMatchesPredict) {
+  data::WebspamLikeConfig config;
+  config.num_examples = 300;
+  config.num_features = 128;
+  const auto dataset = data::make_webspam_like(config);
+  std::vector<float> beta(static_cast<std::size_t>(dataset.num_features()));
+  for (std::size_t m = 0; m < beta.size(); ++m) {
+    beta[m] = 0.01F * static_cast<float>(m % 13) - 0.05F;
+  }
+  const auto model = ServableModel::from_saved(primal_model(beta), 1);
+  util::ThreadPool pool(4);
+  const auto scored = score_matrix(pool, dataset.by_row(), model);
+  const auto expected = core::predict(dataset, beta);
+  ASSERT_EQ(scored.size(), expected.size());
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    EXPECT_NEAR(scored[i], expected[i], 1e-4) << "row " << i;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotoneBucketEdges) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.record(10e-6);   // [8, 16) µs bucket
+  for (int i = 0; i < 10; ++i) histogram.record(1000e-6);  // [512, 1024) µs
+  EXPECT_EQ(histogram.total_count(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.quantile_us(0.5), 16.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile_us(0.9), 16.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile_us(0.99), 1024.0);
+  EXPECT_LE(histogram.quantile_us(0.5), histogram.quantile_us(0.99));
+}
+
+TEST(LatencyHistogramTest, EmptyAndExtremeValues) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.quantile_us(0.5), 0.0);
+  histogram.record(0.0);      // underflow → first bucket
+  histogram.record(1e9);      // overflow → last bucket
+  EXPECT_EQ(histogram.total_count(), 2u);
+  EXPECT_GT(histogram.quantile_us(1.0), 0.0);
+}
+
+TEST(ServingMetricsTest, SnapshotAggregatesCounters) {
+  ServingMetrics metrics;
+  metrics.record_accept();
+  metrics.record_accept();
+  metrics.record_reject();
+  metrics.record_batch(2);
+  metrics.record_latency(50e-6);
+  metrics.record_latency(100e-6);
+  metrics.record_reload();
+  const auto stats = metrics.snapshot();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, 2.0);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+  EXPECT_GT(stats.p99_us, 0.0);
+  EXPECT_NE(stats.summary().find("served 2 req"), std::string::npos);
+}
+
+TEST(ModelRegistryTest, StartsEmptyAndVersionsPublishes) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.current(), nullptr);
+  EXPECT_EQ(registry.version(), 0u);
+  EXPECT_EQ(registry.publish(primal_model({1.0F})), 1u);
+  EXPECT_EQ(registry.publish(primal_model({2.0F})), 2u);
+  EXPECT_EQ(registry.version(), 2u);
+  EXPECT_EQ(registry.current()->beta[0], 2.0F);
+}
+
+TEST(ModelRegistryTest, OldSnapshotSurvivesPublish) {
+  ModelRegistry registry;
+  registry.publish(primal_model({1.0F}));
+  const auto v1 = registry.current();
+  registry.publish(primal_model({2.0F}));
+  EXPECT_EQ(v1->beta[0], 1.0F);  // in-flight batch keeps scoring v1
+  EXPECT_EQ(registry.current()->beta[0], 2.0F);
+}
+
+TEST(ModelRegistryTest, BadFileLeavesLiveModelUntouched) {
+  ModelRegistry registry;
+  registry.publish(primal_model({1.0F}));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tpa_serve_bad.tpam").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "TPAMgarbage-that-is-not-a-model";
+  }
+  EXPECT_THROW(registry.publish_file(path), std::runtime_error);
+  EXPECT_EQ(registry.version(), 1u);
+  EXPECT_EQ(registry.current()->beta[0], 1.0F);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelRegistryTest, PublishFileRoundTrips) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tpa_serve_ok.tpam").string();
+  core::write_model_file(path, primal_model({3.0F, -1.0F}));
+  ModelRegistry registry;
+  EXPECT_EQ(registry.publish_file(path), 1u);
+  EXPECT_EQ(registry.current()->beta,
+            (std::vector<float>{3.0F, -1.0F}));
+  std::filesystem::remove(path);
+}
+
+// --- Batcher edge cases ----------------------------------------------------
+
+/// Executor that scores nothing: fulfils each promise with the batch's size
+/// so tests can observe coalescing.
+RequestBatcher::BatchFn count_executor(std::atomic<int>* batches) {
+  return [batches](std::vector<Request>& batch) {
+    if (batches != nullptr) batches->fetch_add(1);
+    for (auto& request : batch) {
+      request.result.set_value(static_cast<float>(batch.size()));
+    }
+  };
+}
+
+TEST(RequestBatcherTest, DrainWithNoRequestsReturnsImmediately) {
+  util::ThreadPool pool(2);
+  RequestBatcher batcher({}, pool, count_executor(nullptr));
+  batcher.drain();  // must not hang; no batch may be formed
+  EXPECT_EQ(batcher.queued(), 0u);
+}
+
+TEST(RequestBatcherTest, SingleRequestFlushesOnTimeout) {
+  util::ThreadPool pool(2);
+  BatcherConfig config;
+  config.max_batch_size = 64;
+  config.max_wait = std::chrono::microseconds(100);
+  RequestBatcher batcher(config, pool, count_executor(nullptr));
+  const auto matrix = two_row_matrix();
+  auto result = batcher.submit(matrix.row(0));
+  ASSERT_TRUE(result.accepted());
+  // The batch must flush after max_wait even though it never fills.
+  EXPECT_EQ(result.prediction.get(), 1.0F);
+}
+
+TEST(RequestBatcherTest, CoalescesBackloggedRequestsIntoBatches) {
+  util::ThreadPool pool(2);
+  BatcherConfig config;
+  config.max_batch_size = 16;
+  config.max_wait = std::chrono::milliseconds(5);
+  std::atomic<int> batches{0};
+  RequestBatcher batcher(config, pool, count_executor(&batches));
+  const auto matrix = two_row_matrix();
+  std::vector<std::future<float>> results;
+  for (int i = 0; i < 256; ++i) {
+    auto result = batcher.submit(matrix.row(i % 2));
+    ASSERT_TRUE(result.accepted());
+    results.push_back(std::move(result.prediction));
+  }
+  double mean_batch = 0.0;
+  for (auto& r : results) mean_batch += r.get();
+  mean_batch /= 256.0;
+  // 256 requests submitted faster than the 5 ms window must coalesce: far
+  // fewer batches than requests, batches no larger than the cap.
+  EXPECT_LE(batches.load(), 64);
+  EXPECT_GT(mean_batch, 1.0);
+  EXPECT_LE(mean_batch, 16.0);
+}
+
+TEST(RequestBatcherTest, ShedsLoadWhenQueueFull) {
+  util::ThreadPool pool(1);
+  BatcherConfig config;
+  config.max_batch_size = 1;
+  config.queue_capacity = 2;
+  config.max_inflight_batches = 1;
+  config.max_wait = std::chrono::microseconds(1);
+
+  std::atomic<bool> started{false};
+  std::promise<void> gate;
+  auto gate_opened = gate.get_future().share();
+  RequestBatcher batcher(
+      config, pool, [&](std::vector<Request>& batch) {
+        started.store(true);
+        gate_opened.wait();  // hold the only in-flight slot
+        for (auto& request : batch) request.result.set_value(0.0F);
+      });
+
+  const auto matrix = two_row_matrix();
+  auto first = batcher.submit(matrix.row(0));
+  ASSERT_TRUE(first.accepted());
+  while (!started.load()) std::this_thread::yield();
+
+  // The in-flight batch blocks the dispatcher, so the queue backs up to
+  // capacity and admission control starts shedding with a typed verdict.
+  std::vector<std::future<float>> accepted;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto result = batcher.submit(matrix.row(0));
+    if (result.accepted()) {
+      accepted.push_back(std::move(result.prediction));
+    } else {
+      EXPECT_EQ(result.status, Admission::kQueueFull);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted.size(), 2u);
+  EXPECT_EQ(rejected, 14u);
+
+  gate.set_value();
+  // Every accepted request must still resolve after the stall clears.
+  EXPECT_NO_THROW(first.prediction.get());
+  for (auto& result : accepted) EXPECT_NO_THROW(result.get());
+}
+
+TEST(RequestBatcherTest, DestructorDrainsAcceptedRequests) {
+  util::ThreadPool pool(2);
+  const auto matrix = two_row_matrix();
+  std::vector<std::future<float>> results;
+  {
+    BatcherConfig config;
+    config.max_batch_size = 8;
+    config.max_wait = std::chrono::seconds(10);  // force the shutdown flush
+    RequestBatcher batcher(config, pool, count_executor(nullptr));
+    for (int i = 0; i < 5; ++i) {
+      auto result = batcher.submit(matrix.row(0));
+      ASSERT_TRUE(result.accepted());
+      results.push_back(std::move(result.prediction));
+    }
+  }
+  for (auto& result : results) EXPECT_NO_THROW(result.get());
+}
+
+TEST(RequestBatcherTest, AdmissionVerdictsHaveNames) {
+  EXPECT_STREQ(admission_name(Admission::kShutdown), "shutdown");
+  EXPECT_STREQ(admission_name(Admission::kQueueFull), "queue-full");
+  EXPECT_STREQ(admission_name(Admission::kNoModel), "no-model");
+  EXPECT_STREQ(admission_name(Admission::kAccepted), "accepted");
+}
+
+TEST(RequestBatcherTest, ReloadDuringInFlightBatchKeepsSnapshot) {
+  // A batch that is already executing keeps the model it snapshotted even if
+  // a publish lands mid-execution; nothing is dropped.
+  ModelRegistry registry;
+  registry.publish(primal_model({1.0F, 1.0F, 1.0F, 1.0F, 1.0F, 1.0F, 1.0F,
+                                 1.0F}));
+  util::ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::promise<void> gate;
+  auto gate_opened = gate.get_future().share();
+  BatcherConfig config;
+  config.max_batch_size = 4;
+  config.max_wait = std::chrono::microseconds(50);
+  RequestBatcher batcher(config, pool, [&](std::vector<Request>& batch) {
+    const auto model = registry.current();  // snapshot at execution start
+    started.store(true);
+    gate_opened.wait();  // reload happens here, mid-batch
+    for (auto& request : batch) {
+      request.result.set_value(
+          static_cast<float>(score_row(request.row, model->beta)));
+    }
+  });
+
+  const auto matrix = two_row_matrix();  // row 0 sums to 2 with all-ones beta
+  auto in_flight = batcher.submit(matrix.row(0));
+  ASSERT_TRUE(in_flight.accepted());
+  while (!started.load()) std::this_thread::yield();
+
+  registry.publish(primal_model(std::vector<float>(8, 10.0F)));
+  gate.set_value();
+  // The in-flight batch scored on v1 (all ones), not v2 (all tens).
+  EXPECT_FLOAT_EQ(in_flight.prediction.get(), 2.0F);
+
+  // A batch formed after the publish sees v2.
+  auto after = batcher.submit(matrix.row(0));
+  ASSERT_TRUE(after.accepted());
+  EXPECT_FLOAT_EQ(after.prediction.get(), 20.0F);
+}
+
+// --- Server end-to-end -----------------------------------------------------
+
+TEST(ServerTest, RejectsBeforeFirstPublish) {
+  Server server;
+  const auto matrix = two_row_matrix();
+  const auto result = server.submit(matrix.row(0));
+  EXPECT_EQ(result.status, Admission::kNoModel);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(ServerTest, ServesPredictionsMatchingDirectScoring) {
+  data::WebspamLikeConfig config;
+  config.num_examples = 200;
+  config.num_features = 64;
+  const auto dataset = data::make_webspam_like(config);
+  std::vector<float> beta(64);
+  for (std::size_t m = 0; m < beta.size(); ++m) {
+    beta[m] = 0.1F * static_cast<float>(m % 7) - 0.2F;
+  }
+
+  ServerConfig server_config;
+  server_config.threads = 2;
+  server_config.batcher.max_batch_size = 16;
+  server_config.batcher.max_wait = std::chrono::microseconds(100);
+  Server server(server_config);
+  EXPECT_EQ(server.publish(primal_model(beta)), 1u);
+
+  const auto& matrix = dataset.by_row();
+  std::vector<std::future<float>> predictions;
+  for (Index r = 0; r < matrix.rows(); ++r) {
+    auto result = server.submit(matrix.row(r));
+    ASSERT_TRUE(result.accepted()) << admission_name(result.status);
+    predictions.push_back(std::move(result.prediction));
+  }
+  server.drain();
+
+  for (Index r = 0; r < matrix.rows(); ++r) {
+    EXPECT_FLOAT_EQ(predictions[r].get(),
+                    static_cast<float>(score_row(matrix.row(r), beta)));
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, 200u);
+  EXPECT_EQ(stats.completed, 200u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.p50_us, 0.0);
+}
+
+TEST(ServerTest, HotReloadMidStreamSwapsPredictionsWithoutDrops) {
+  const auto matrix = two_row_matrix();
+  ServerConfig config;
+  config.threads = 2;
+  config.batcher.max_batch_size = 8;
+  config.batcher.max_wait = std::chrono::microseconds(50);
+  Server server(config);
+  server.publish(primal_model(std::vector<float>(8, 0.0F)));  // v1: ŷ = 0
+
+  const std::size_t half = 500;
+  std::vector<std::future<float>> first_half;
+  std::vector<std::future<float>> second_half;
+  for (std::size_t i = 0; i < half; ++i) {
+    auto result = server.submit(matrix.row(0));
+    ASSERT_TRUE(result.accepted());
+    first_half.push_back(std::move(result.prediction));
+  }
+  server.drain();  // every v1 request completes before the swap
+  server.publish(primal_model(std::vector<float>(8, 1.0F)));  // v2: ŷ = 2
+  for (std::size_t i = 0; i < half; ++i) {
+    auto result = server.submit(matrix.row(0));
+    ASSERT_TRUE(result.accepted());
+    second_half.push_back(std::move(result.prediction));
+  }
+  server.drain();
+
+  for (auto& prediction : first_half) {
+    EXPECT_FLOAT_EQ(prediction.get(), 0.0F);
+  }
+  for (auto& prediction : second_half) {
+    EXPECT_FLOAT_EQ(prediction.get(), 2.0F);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, 2 * half);
+  EXPECT_EQ(stats.completed, 2 * half);  // nothing dropped across the reload
+  EXPECT_EQ(stats.reloads, 2u);
+}
+
+}  // namespace
+}  // namespace tpa::serve

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace tpa::util {
@@ -53,6 +56,55 @@ TEST(ThreadPool, TasksCanSubmitResultsInOrderIndependentWay) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     EXPECT_EQ(values[i], static_cast<int>(i) * 2);
   }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexForAnyGrain) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(233);
+    pool.parallel_for(
+        hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksPartitionsExactly) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(
+      100,
+      [&](std::size_t begin, std::size_t end) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        chunks.emplace_back(begin, end);
+      },
+      32);
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 4u);  // ceil(100 / 32)
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 100u);
+}
+
+TEST(ThreadPool, ParallelForChunksZeroCountAndSingleChunk) {
+  ThreadPool pool(2);
+  pool.parallel_for_chunks(0, [](std::size_t, std::size_t) { FAIL(); });
+  int calls = 0;
+  // grain >= count runs as one inline chunk.
+  pool.parallel_for_chunks(
+      5,
+      [&calls](std::size_t begin, std::size_t end) {
+        ++calls;
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 5u);
+      },
+      8);
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(ThreadPool, SurvivesManyWaves) {

@@ -20,8 +20,7 @@
 #include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
 #include "data/generators.hpp"
-#include "sparse/io_binary.hpp"
-#include "sparse/io_svmlight.hpp"
+#include "sparse/load.hpp"
 #include "sparse/matrix_stats.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
@@ -35,10 +34,7 @@ data::Dataset load_dataset(const util::ArgParser& parser) {
   if (!path.empty()) {
     const auto features =
         static_cast<data::Index>(parser.get_int("num-features", 0));
-    sparse::LabeledMatrix loaded =
-        path.size() > 4 && path.substr(path.size() - 4) == ".bin"
-            ? sparse::read_binary_file(path)
-            : sparse::read_svmlight_file(path, features);
+    sparse::LabeledMatrix loaded = sparse::load_labeled_file(path, features);
     return data::Dataset(path, std::move(loaded.matrix),
                          std::move(loaded.labels));
   }
