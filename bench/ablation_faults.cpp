@@ -1,0 +1,142 @@
+// Ablation: what do worker failures cost the synchronous cluster?
+//
+// The design choice under test (DESIGN.md §8): the master enforces a
+// straggler deadline and aggregates whatever deltas survive, rescaling γ to
+// the contributing count, instead of stalling the synchronous Reduce on the
+// slowest or dead worker.  This bench runs a fixed epoch budget under a
+// spectrum of fault scenarios — single crash, crash storms, a permanent
+// straggler, lossy and corrupting transports — and reports the final gap
+// next to the fault-free baseline, plus the event log that produced it.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "cluster/dist_solver.hpp"
+
+namespace {
+
+using namespace tpa;
+
+struct Scenario {
+  std::string name;
+  cluster::FaultConfig faults;
+};
+
+cluster::FaultEvent crash_at(int epoch, int worker) {
+  cluster::FaultEvent event;
+  event.epoch = epoch;
+  event.worker = worker;
+  event.kind = cluster::FaultKind::kCrash;
+  return event;
+}
+
+cluster::FaultEvent permanent_stall(int worker, double factor) {
+  cluster::FaultEvent event;
+  event.epoch = 1;
+  event.worker = worker;
+  event.kind = cluster::FaultKind::kStall;
+  event.stall_factor = factor;
+  event.permanent = true;
+  return event;
+}
+
+std::vector<Scenario> make_scenarios() {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"fault-free", {}});
+
+  Scenario crash{"crash w1@e3", {}};
+  crash.faults.scripted.push_back(crash_at(3, 1));
+  scenarios.push_back(std::move(crash));
+
+  Scenario straggler{"straggler 4x", {}};
+  straggler.faults.scripted.push_back(permanent_stall(2, 4.0));
+  scenarios.push_back(std::move(straggler));
+
+  Scenario combined{"crash+straggler", {}};
+  combined.faults.scripted.push_back(crash_at(3, 1));
+  combined.faults.scripted.push_back(permanent_stall(2, 4.0));
+  scenarios.push_back(std::move(combined));
+
+  Scenario storm{"crash rate 5%", {}};
+  storm.faults.crash_rate = 0.05;
+  scenarios.push_back(std::move(storm));
+
+  Scenario lossy{"drop rate 10%", {}};
+  lossy.faults.drop_rate = 0.10;
+  scenarios.push_back(std::move(lossy));
+
+  Scenario noisy{"corrupt rate 10%", {}};
+  noisy.faults.corrupt_rate = 0.10;
+  scenarios.push_back(std::move(noisy));
+  return scenarios;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser parser("ablation_faults",
+                         "duality gap vs injected cluster faults");
+  bench::add_common_options(parser);
+  parser.add_option("workers", "simulated workers", "4");
+  parser.add_option("fault-seed", "seed for rate-based fault draws", "24245");
+  if (!parser.parse(argc, argv)) return 1;
+  auto options = bench::read_common_options(parser);
+  options.max_epochs = static_cast<int>(parser.get_int("epochs", 15));
+  const int workers = static_cast<int>(parser.get_int("workers", 4));
+  const auto fault_seed =
+      static_cast<std::uint64_t>(parser.get_int("fault-seed", 24245));
+
+  const auto dataset = bench::make_webspam(options);
+
+  double baseline_gap = 0.0;
+  for (const auto f : {core::Formulation::kPrimal, core::Formulation::kDual}) {
+    std::cout << "\n== gap after " << options.max_epochs << " epochs, K = "
+              << workers << " (" << formulation_name(f)
+              << ", adaptive) ==\n";
+    util::Table table({"scenario", "final gap", "vs clean", "crash", "evict",
+                       "miss", "late", "drop+corrupt", "verdict"});
+    for (const auto& scenario : make_scenarios()) {
+      cluster::DistConfig config;
+      config.formulation = f;
+      config.num_workers = workers;
+      config.aggregation = cluster::AggregationMode::kAdaptive;
+      config.local_solver.kind = core::SolverKind::kSequential;
+      config.lambda = options.lambda;
+      config.faults = scenario.faults;
+      config.faults.seed = fault_seed;
+      cluster::DistributedSolver solver(dataset, config);
+      core::RunOptions run;
+      run.max_epochs = options.max_epochs;
+      run.target_gap = 0.0;
+      const auto trace = cluster::run_distributed(solver, run);
+      const double gap = trace.final_gap();
+      if (scenario.name == "fault-free") baseline_gap = gap;
+
+      table.begin_row();
+      table.add_cell(scenario.name);
+      table.add_number(gap);
+      table.add_number(baseline_gap > 0.0 ? gap / baseline_gap : 1.0);
+      table.add_integer(static_cast<long long>(
+          trace.count_events(core::ClusterEventKind::kCrash)));
+      table.add_integer(static_cast<long long>(
+          trace.count_events(core::ClusterEventKind::kEvict)));
+      table.add_integer(static_cast<long long>(
+          trace.count_events(core::ClusterEventKind::kDeadlineMiss)));
+      table.add_integer(static_cast<long long>(
+          trace.count_events(core::ClusterEventKind::kLateDelta)));
+      table.add_integer(static_cast<long long>(
+          trace.count_events(core::ClusterEventKind::kDeltaDropped) +
+          trace.count_events(core::ClusterEventKind::kDeltaCorrupted)));
+      table.add_cell(!std::isfinite(gap) || gap > 1.0 ? "DIVERGED"
+                     : gap > 10.0 * baseline_gap      ? "degraded"
+                                                      : "tolerated");
+    }
+    bench::emit(table, options);
+  }
+  std::cout << "\nnote: degraded aggregation rescales gamma to the "
+               "surviving delta count, so losing deltas costs descent "
+               "progress, never consistency; a 4x straggler against the "
+               "1.5x grace deadline lands its stale delta every few rounds "
+               "(PASSCoDe-style) instead of stalling every Reduce.\n";
+  return 0;
+}

@@ -1,9 +1,13 @@
 #include "cluster/dist_solver.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "gpusim/device.hpp"
+#include "sparse/io_binary.hpp"
 #include "util/timer.hpp"
 
 namespace tpa::cluster {
@@ -14,25 +18,80 @@ bool is_gpu_kind(core::SolverKind kind) {
          kind == core::SolverKind::kTpaTitanX;
 }
 
+/// Simulated transit corruption: flip one mantissa bit of the first entry.
+/// Any single-bit change defeats FNV-1a, which is the point — the master
+/// must notice without trusting the payload.
+void corrupt_in_transit(std::vector<double>& delta) {
+  if (delta.empty()) return;
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, delta.data(), sizeof(bits));
+  bits ^= 0x1ULL;
+  std::memcpy(delta.data(), &bits, sizeof(bits));
+}
+
+std::uint64_t delta_checksum(const std::vector<double>& delta) {
+  return sparse::fnv1a(delta.data(), delta.size() * sizeof(double));
+}
+
 }  // namespace
+
+const char* worker_status_name(WorkerStatus status) {
+  switch (status) {
+    case WorkerStatus::kActive:
+      return "active";
+    case WorkerStatus::kInFlight:
+      return "in-flight";
+    case WorkerStatus::kBackoff:
+      return "backoff";
+    case WorkerStatus::kEvicted:
+      return "evicted";
+  }
+  return "?";
+}
 
 DistributedSolver::DistributedSolver(const data::Dataset& global,
                                      const DistConfig& config)
     : global_(&global),
       config_(config),
       global_problem_(global, config.lambda),
+      injector_(config.faults),
       global_workload_(core::TimingWorkload::for_dataset(
           global, config.formulation)) {
   if (config.num_workers <= 0) {
     throw std::invalid_argument(
-        "DistributedSolver: num_workers must be positive");
+        "DistributedSolver: num_workers must be positive, got " +
+        std::to_string(config.num_workers));
+  }
+  const auto dim = global_problem_.num_coordinates(config.formulation);
+  if (static_cast<data::Index>(config.num_workers) > dim) {
+    throw std::invalid_argument(
+        "DistributedSolver: num_workers (" +
+        std::to_string(config.num_workers) +
+        ") exceeds the partitionable dimension (" + std::to_string(dim) +
+        " " +
+        (config.formulation == core::Formulation::kPrimal ? "features"
+                                                          : "examples") +
+        " for the " + std::string(formulation_name(config.formulation)) +
+        " form); some workers would own no coordinates");
+  }
+  if (config.local_epochs_per_round <= 0) {
+    throw std::invalid_argument(
+        "DistributedSolver: local_epochs_per_round must be >= 1, got " +
+        std::to_string(config.local_epochs_per_round));
+  }
+  if (config.straggler_grace <= 1.0) {
+    throw std::invalid_argument(
+        "DistributedSolver: straggler_grace must be > 1 (the deadline must "
+        "allow at least a full healthy epoch)");
+  }
+  if (config.max_restarts < 0) {
+    throw std::invalid_argument(
+        "DistributedSolver: max_restarts must be non-negative");
   }
   gpu_local_ = is_gpu_kind(config.local_solver.kind);
 
   util::Rng rng(config.seed);
-  partition_ = Partition::random(
-      global_problem_.num_coordinates(config.formulation),
-      config.num_workers, rng);
+  partition_ = Partition::random(dim, config.num_workers, rng);
   shared_.assign(global_problem_.shared_dim(config.formulation), 0.0F);
 
   workers_.reserve(static_cast<std::size_t>(config.num_workers));
@@ -52,57 +111,255 @@ DistributedSolver::DistributedSolver(const data::Dataset& global,
   }
 }
 
+void DistributedSolver::record_event(int worker,
+                                     core::ClusterEventKind kind) {
+  core::ClusterEvent event;
+  event.epoch = epoch_;
+  event.worker = worker;
+  event.kind = kind;
+  events_.push_back(event);
+}
+
+void DistributedSolver::handle_crash(Worker& worker, int index) {
+  // The in-progress epoch (buffered or not) is lost; the worker's committed
+  // weights survive because the master re-seeds the replacement shard from
+  // its own assembled state on restart (DESIGN.md §8).
+  worker.pending.reset();
+  ++worker.crash_count;
+  record_event(index, core::ClusterEventKind::kCrash);
+  if (worker.crash_count > config_.max_restarts) {
+    worker.status = WorkerStatus::kEvicted;
+    record_event(index, core::ClusterEventKind::kEvict);
+  } else {
+    worker.status = WorkerStatus::kBackoff;
+    worker.backoff_remaining = 1 << (worker.crash_count - 1);
+  }
+}
+
 core::EpochReport DistributedSolver::run_epoch() {
   const util::WallTimer timer;
+  ++epoch_;
   const auto f = config_.formulation;
   const auto n = static_cast<double>(global_problem_.num_examples());
   const double lambda = config_.lambda;
-  const double fallback_gamma = 1.0 / config_.num_workers;
+  const int local_passes = config_.local_epochs_per_round;
+  const auto num_workers = workers_.size();
 
-  // Aggregated shared-vector delta, accumulated in double on the "master".
-  std::vector<double> dshared(shared_.size(), 0.0);
-  PrimalGammaTerms pterms;
-  DualGammaTerms dterms;
-  double slowest_solver = 0.0;
+  enum class Outcome { kIdle, kFresh, kLate };
+  std::vector<Outcome> outcome(num_workers, Outcome::kIdle);
+  std::vector<double> run_seconds(num_workers, 0.0);
+  std::vector<FaultEvent> fault(num_workers);
+  std::vector<bool> ran(num_workers, false);
+  std::uint64_t updates = 0;
 
-  const int local_passes = std::max(1, config_.local_epochs_per_round);
-  for (std::size_t k = 0; k < workers_.size(); ++k) {
+  // ---- Phase 1: advance every worker's state machine; run the active
+  // ones.  Every worker consumes exactly `local_passes` permutations per
+  // outer epoch — run, buffered, or skipped — so that stream positions stay
+  // the pure function of the epoch counter that restore() relies on.
+  for (std::size_t k = 0; k < num_workers; ++k) {
     auto& worker = *workers_[k];
-    auto& state = worker.solver->mutable_state();
+    const int index = static_cast<int>(k);
+
+    if (worker.status == WorkerStatus::kEvicted) {
+      worker.solver->skip_epoch_randomness(local_passes);
+      continue;
+    }
+    if (worker.status == WorkerStatus::kBackoff) {
+      worker.solver->skip_epoch_randomness(local_passes);
+      if (--worker.backoff_remaining <= 0) {
+        worker.status = WorkerStatus::kActive;
+        record_event(index, core::ClusterEventKind::kRestart);
+      }
+      continue;
+    }
+
+    fault[k] = injector_.query(epoch_, index);
+
+    if (worker.status == WorkerStatus::kInFlight) {
+      worker.solver->skip_epoch_randomness(local_passes);
+      if (fault[k].kind == FaultKind::kCrash) {
+        handle_crash(worker, index);
+        continue;
+      }
+      auto& pending = *worker.pending;
+      if (++pending.rounds_done >= pending.rounds_needed) {
+        outcome[k] = Outcome::kLate;  // incorporated below
+      }
+      continue;
+    }
+
+    // Active worker.  A crash costs the whole local epoch; nothing to run.
+    if (fault[k].kind == FaultKind::kCrash) {
+      worker.solver->skip_epoch_randomness(local_passes);
+      handle_crash(worker, index);
+      continue;
+    }
+
     // Broadcast: the worker starts its epoch from the master's shared
     // vector (its local copy then diverges as it applies local updates).
+    auto& state = worker.solver->mutable_state();
     state.shared.assign(shared_.begin(), shared_.end());
     worker.weights_start = state.weights;
-
     double local_seconds = 0.0;
     for (int pass = 0; pass < local_passes; ++pass) {
       local_seconds += worker.solver->run_epoch().sim_seconds;
     }
-    slowest_solver = std::max(slowest_solver, local_seconds);
+    ran[k] = true;
+    run_seconds[k] = local_seconds;
+    updates += state.weights.size();
+  }
 
-    // Δw^(t,k), summed straight into the master's accumulator (Reduce).
-    for (std::size_t i = 0; i < shared_.size(); ++i) {
-      dshared[i] += static_cast<double>(state.shared[i]) - shared_[i];
+  // ---- Phase 2: the straggler deadline, from the timing breakdown: the
+  // master waits grace x (slowest healthy compute + network round) before
+  // aggregating without the laggards.
+  const std::size_t shared_bytes =
+      static_cast<std::size_t>(global_workload_.shared_dim) * sizeof(float);
+  const double net_round =
+      config_.network.reduce_seconds(shared_bytes, config_.num_workers) +
+      config_.network.broadcast_seconds(shared_bytes, config_.num_workers);
+  double healthy_max = 0.0;
+  double runner_max = 0.0;
+  for (std::size_t k = 0; k < num_workers; ++k) {
+    if (!ran[k]) continue;
+    runner_max = std::max(runner_max, run_seconds[k]);
+    if (fault[k].kind != FaultKind::kStall) {
+      healthy_max = std::max(healthy_max, run_seconds[k]);
     }
-    // Local scalar terms for adaptive aggregation (Algorithm 4): computable
-    // on each worker because coordinate ownership is disjoint.
+  }
+  if (healthy_max == 0.0) healthy_max = runner_max;  // every runner stalled
+  last_deadline_seconds_ =
+      config_.straggler_grace * (healthy_max + net_round);
+
+  // ---- Phase 3: transit outcomes for this round's runners.
+  double compute_max = 0.0;  // slowest delta that the master waited for
+  bool any_deadline_miss = false;
+  for (std::size_t k = 0; k < num_workers; ++k) {
+    if (!ran[k]) continue;
+    auto& worker = *workers_[k];
+    auto& state = worker.solver->mutable_state();
+    const int index = static_cast<int>(k);
+    const double effective =
+        fault[k].kind == FaultKind::kStall
+            ? run_seconds[k] * std::max(1.0, fault[k].stall_factor)
+            : run_seconds[k];
+
+    if (fault[k].kind == FaultKind::kStall &&
+        effective > last_deadline_seconds_) {
+      // Missed the deadline: buffer the stale delta and keep computing.
+      // Rolling the visible weights back to the epoch start keeps the
+      // assembled global state consistent until the delta finally lands.
+      PendingDelta pending;
+      pending.dshared.resize(shared_.size());
+      for (std::size_t i = 0; i < shared_.size(); ++i) {
+        pending.dshared[i] =
+            static_cast<double>(state.shared[i]) - shared_[i];
+      }
+      pending.dweights.resize(state.weights.size());
+      for (std::size_t j = 0; j < state.weights.size(); ++j) {
+        pending.dweights[j] = static_cast<float>(
+            static_cast<double>(state.weights[j]) - worker.weights_start[j]);
+      }
+      pending.rounds_needed = std::max(
+          2, static_cast<int>(std::ceil(effective / last_deadline_seconds_)));
+      pending.rounds_done = 1;
+      state.weights = worker.weights_start;
+      worker.pending = std::move(pending);
+      worker.status = WorkerStatus::kInFlight;
+      any_deadline_miss = true;
+      record_event(index, core::ClusterEventKind::kDeadlineMiss);
+      continue;
+    }
+
+    if (fault[k].kind == FaultKind::kDropDelta) {
+      state.weights = worker.weights_start;
+      record_event(index, core::ClusterEventKind::kDeltaDropped);
+      continue;
+    }
+
+    if (fault[k].kind == FaultKind::kCorruptDelta) {
+      // The worker checksums its delta before the reduce; the master
+      // recomputes on receipt.  Corruption in transit fails the check and
+      // the delta is discarded — never silently aggregated.
+      std::vector<double> received(shared_.size());
+      for (std::size_t i = 0; i < shared_.size(); ++i) {
+        received[i] = static_cast<double>(state.shared[i]) - shared_[i];
+      }
+      const std::uint64_t sent = delta_checksum(received);
+      corrupt_in_transit(received);
+      if (delta_checksum(received) != sent) {
+        state.weights = worker.weights_start;
+        record_event(index, core::ClusterEventKind::kDeltaCorrupted);
+        continue;
+      }
+      // Unreachable (a bit flip always changes the FNV stream), but if the
+      // check ever passed the delta is byte-identical and safe to use.
+    }
+
+    outcome[k] = Outcome::kFresh;
+    compute_max = std::max(compute_max, effective);
+  }
+
+  // ---- Phase 4: Reduce the surviving deltas on the master.
+  std::vector<double> dshared(shared_.size(), 0.0);
+  PrimalGammaTerms pterms;
+  DualGammaTerms dterms;
+  int contributors = 0;
+  for (std::size_t k = 0; k < num_workers; ++k) {
+    if (outcome[k] == Outcome::kIdle) continue;
+    auto& worker = *workers_[k];
+    const auto& state = worker.solver->state();
     const auto labels = worker.shard.labels();
-    for (std::size_t j = 0; j < state.weights.size(); ++j) {
-      const double start = worker.weights_start[j];
-      const double delta = static_cast<double>(state.weights[j]) - start;
-      if (f == core::Formulation::kPrimal) {
-        pterms.beta_dot_dbeta += start * delta;
-        pterms.dbeta_sq += delta * delta;
-      } else {
-        dterms.dalpha_dot_y += delta * labels[j];
-        dterms.dalpha_dot_alpha += start * delta;
-        dterms.dalpha_sq += delta * delta;
+    ++contributors;
+    if (outcome[k] == Outcome::kFresh) {
+      // Δw^(t,k), summed straight into the master's accumulator (Reduce).
+      for (std::size_t i = 0; i < shared_.size(); ++i) {
+        dshared[i] += static_cast<double>(state.shared[i]) - shared_[i];
+      }
+      // Local scalar terms for adaptive aggregation (Algorithm 4):
+      // computable on each worker because coordinate ownership is disjoint.
+      for (std::size_t j = 0; j < state.weights.size(); ++j) {
+        const double start = worker.weights_start[j];
+        const double delta = static_cast<double>(state.weights[j]) - start;
+        if (f == core::Formulation::kPrimal) {
+          pterms.beta_dot_dbeta += start * delta;
+          pterms.dbeta_sq += delta * delta;
+        } else {
+          dterms.dalpha_dot_y += delta * labels[j];
+          dterms.dalpha_dot_alpha += start * delta;
+          dterms.dalpha_sq += delta * delta;
+        }
+      }
+    } else {
+      // A straggler's stale delta, finally off the wire.  The invariant is
+      // linear in the delta, so incorporating it late is exact; only the
+      // descent quality pays for the staleness (PASSCoDe).
+      const auto& pending = *worker.pending;
+      for (std::size_t i = 0; i < shared_.size(); ++i) {
+        dshared[i] += pending.dshared[i];
+      }
+      for (std::size_t j = 0; j < pending.dweights.size(); ++j) {
+        const double start = state.weights[j];  // rolled back at buffering
+        const double delta = pending.dweights[j];
+        if (f == core::Formulation::kPrimal) {
+          pterms.beta_dot_dbeta += start * delta;
+          pterms.dbeta_sq += delta * delta;
+        } else {
+          dterms.dalpha_dot_y += delta * labels[j];
+          dterms.dalpha_dot_alpha += start * delta;
+          dterms.dalpha_sq += delta * delta;
+        }
       }
     }
   }
+  last_contributors_ = contributors;
 
-  // Master-side terms and the aggregation parameter.
-  if (config_.aggregation == AggregationMode::kAveraging) {
+  // ---- Master-side terms and the aggregation parameter, rescaled to the
+  // workers that actually delivered (degraded-mode aggregation).
+  const double fallback_gamma =
+      contributors > 0 ? 1.0 / contributors : 0.0;
+  if (contributors == 0) {
+    last_gamma_ = 0.0;  // nothing landed; the model is untouched this round
+  } else if (config_.aggregation == AggregationMode::kAveraging) {
     last_gamma_ = fallback_gamma;
   } else if (config_.aggregation == AggregationMode::kFixed) {
     last_gamma_ = config_.fixed_gamma;
@@ -138,22 +395,38 @@ core::EpochReport DistributedSolver::run_epoch() {
     }
   }
 
-  // Apply the scaled update on the master and rescale the workers' weight
-  // updates by the same γ so that shared == A·weights stays exact.
-  for (std::size_t i = 0; i < shared_.size(); ++i) {
-    shared_[i] =
-        static_cast<float>(shared_[i] + last_gamma_ * dshared[i]);
-  }
-  std::uint64_t updates = 0;
-  for (auto& worker_ptr : workers_) {
-    auto& worker = *worker_ptr;
-    auto& state = worker.solver->mutable_state();
-    for (std::size_t j = 0; j < state.weights.size(); ++j) {
-      const double start = worker.weights_start[j];
-      const double delta = static_cast<double>(state.weights[j]) - start;
-      state.weights[j] = static_cast<float>(start + last_gamma_ * delta);
+  // ---- Apply the scaled update on the master and rescale the contributing
+  // workers' weight updates by the same γ so shared == A·weights stays
+  // exact.  Excluded workers were rolled back to their epoch start, so they
+  // contribute (exactly) nothing to either side.
+  if (contributors > 0) {
+    for (std::size_t i = 0; i < shared_.size(); ++i) {
+      shared_[i] =
+          static_cast<float>(shared_[i] + last_gamma_ * dshared[i]);
     }
-    updates += state.weights.size();
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      if (outcome[k] == Outcome::kIdle) continue;
+      auto& worker = *workers_[k];
+      auto& state = worker.solver->mutable_state();
+      if (outcome[k] == Outcome::kFresh) {
+        for (std::size_t j = 0; j < state.weights.size(); ++j) {
+          const double start = worker.weights_start[j];
+          const double delta =
+              static_cast<double>(state.weights[j]) - start;
+          state.weights[j] = static_cast<float>(start + last_gamma_ * delta);
+        }
+      } else {
+        const auto& pending = *worker.pending;
+        for (std::size_t j = 0; j < state.weights.size(); ++j) {
+          state.weights[j] = static_cast<float>(
+              state.weights[j] + last_gamma_ * pending.dweights[j]);
+        }
+        worker.pending.reset();
+        worker.status = WorkerStatus::kActive;
+        record_event(static_cast<int>(k),
+                     core::ClusterEventKind::kLateDelta);
+      }
+    }
   }
 
   // ---- Simulated time accounting (paper-scale dimensions). ----
@@ -161,11 +434,15 @@ core::EpochReport DistributedSolver::run_epoch() {
   const auto coords_per_worker =
       static_cast<double>(global_workload_.num_coordinates) /
       config_.num_workers;
-  const std::size_t shared_bytes =
-      static_cast<std::size_t>(global_workload_.shared_dim) * sizeof(float);
 
   EpochBreakdown breakdown;
-  breakdown.compute_solver = slowest_solver;
+  // The master waits for the slowest delta it aggregated — or, when a
+  // straggler blew the deadline, for the full grace window before giving
+  // up on it.
+  breakdown.compute_solver =
+      any_deadline_miss
+          ? std::max(compute_max, config_.straggler_grace * healthy_max)
+          : compute_max;
   // Host arithmetic: forming Δw and applying γΔw (2 passes over the shared
   // vector on each host, in parallel across workers => counted once), plus
   // forming / rescaling the local weight deltas (3 passes over the local
@@ -180,9 +457,7 @@ core::EpochReport DistributedSolver::run_epoch() {
     breakdown.pcie = pcie.transfer_seconds(shared_bytes, /*pinned=*/true) +
                      pcie.transfer_seconds(shared_bytes, /*pinned=*/true);
   }
-  breakdown.network =
-      config_.network.reduce_seconds(shared_bytes, config_.num_workers) +
-      config_.network.broadcast_seconds(shared_bytes, config_.num_workers);
+  breakdown.network = net_round;
   if (config_.aggregation == AggregationMode::kAdaptive) {
     // A few scalars ride along with the reduce/broadcast: one extra
     // latency-bound message each way.
@@ -226,16 +501,94 @@ std::vector<float> DistributedSolver::global_weights() const {
   return weights;
 }
 
+WorkerStatus DistributedSolver::worker_status(int worker) const {
+  return workers_.at(static_cast<std::size_t>(worker))->status;
+}
+
+core::SavedModel DistributedSolver::checkpoint() const {
+  core::SavedModel saved;
+  saved.formulation = config_.formulation;
+  saved.lambda = config_.lambda;
+  saved.epoch = static_cast<std::uint32_t>(epoch_);
+  saved.weights = global_weights();
+  saved.shared = shared_;
+  return saved;
+}
+
+void DistributedSolver::restore(const core::SavedModel& saved) {
+  if (epoch_ != 0) {
+    throw std::logic_error(
+        "DistributedSolver::restore: must be called on a fresh solver "
+        "(epochs have already run)");
+  }
+  if (saved.formulation != config_.formulation) {
+    throw std::invalid_argument(
+        "DistributedSolver::restore: checkpoint formulation mismatch");
+  }
+  if (saved.weights.size() !=
+          static_cast<std::size_t>(
+              global_problem_.num_coordinates(config_.formulation)) ||
+      saved.shared.size() != shared_.size()) {
+    throw std::invalid_argument(
+        "DistributedSolver::restore: checkpoint dimensions do not match "
+        "the dataset/partition");
+  }
+  if (saved.lambda != config_.lambda) {
+    throw std::invalid_argument(
+        "DistributedSolver::restore: checkpoint lambda " +
+        std::to_string(saved.lambda) + " != configured " +
+        std::to_string(config_.lambda));
+  }
+
+  shared_.assign(saved.shared.begin(), saved.shared.end());
+  const int skip =
+      static_cast<int>(saved.epoch) * config_.local_epochs_per_round;
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    auto& worker = *workers_[k];
+    auto& state = worker.solver->mutable_state();
+    const auto& owned = partition_.owned[k];
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      state.weights[j] = saved.weights[owned[j]];
+    }
+    state.shared.assign(shared_.begin(), shared_.end());
+    worker.weights_start = state.weights;
+    // Realign the permutation stream: every worker consumes exactly
+    // local_epochs_per_round shuffles per outer epoch no matter what
+    // happened to it, so position == epoch is an invariant and a resumed
+    // fault-free run replays the original bit-for-bit.
+    worker.solver->skip_epoch_randomness(skip);
+    // A resume is a cluster-wide cold restart: everyone comes back.
+    worker.status = WorkerStatus::kActive;
+    worker.crash_count = 0;
+    worker.backoff_remaining = 0;
+    worker.pending.reset();
+  }
+  epoch_ = static_cast<int>(saved.epoch);
+}
+
 core::ConvergenceTrace run_distributed(DistributedSolver& solver,
-                                       const core::RunOptions& options) {
+                                       const core::RunOptions& options,
+                                       const CheckpointConfig& ckpt) {
   core::ConvergenceTrace trace;
   double sim_total =
       options.include_setup_time ? solver.setup_sim_seconds() : 0.0;
   double wall_total = 0.0;
-  for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
+  const int start_epoch = solver.current_epoch();
+  std::size_t seen_events = solver.events().size();
+  int last_checkpointed = start_epoch;
+  for (int epoch = start_epoch + 1; epoch <= options.max_epochs; ++epoch) {
     const auto report = solver.run_epoch();
     sim_total += report.sim_seconds;
     wall_total += report.wall_seconds;
+    const auto& events = solver.events();
+    for (; seen_events < events.size(); ++seen_events) {
+      trace.add_event(events[seen_events]);
+    }
+    if (ckpt.enabled() && epoch % ckpt.every_epochs == 0) {
+      core::write_model_file(ckpt.path, solver.checkpoint());
+      trace.add_event({epoch, -1, core::ClusterEventKind::kCheckpoint});
+      last_checkpointed = epoch;
+    }
     if (epoch % options.record_interval == 0 ||
         epoch == options.max_epochs) {
       core::TracePoint point;
@@ -244,9 +597,17 @@ core::ConvergenceTrace run_distributed(DistributedSolver& solver,
       point.sim_seconds = sim_total;
       point.wall_seconds = wall_total;
       point.gamma = solver.last_gamma();
+      point.contributors = solver.last_contributors();
       trace.add(point);
       if (options.target_gap > 0.0 && point.gap <= options.target_gap) break;
     }
+  }
+  // A final checkpoint so a later --resume continues from exactly where
+  // this run stopped (early target-gap exit included).
+  if (ckpt.enabled() && solver.current_epoch() > last_checkpointed) {
+    core::write_model_file(ckpt.path, solver.checkpoint());
+    trace.add_event(
+        {solver.current_epoch(), -1, core::ClusterEventKind::kCheckpoint});
   }
   return trace;
 }

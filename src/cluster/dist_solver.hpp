@@ -1,4 +1,5 @@
-// Distributed synchronous SCD (paper Algorithms 3 and 4, Section V).
+// Distributed synchronous SCD (paper Algorithms 3 and 4, Section V) with a
+// fault layer.
 //
 // K simulated workers each own a shard of the data (by feature for the
 // primal, by example for the dual) and a local solver — any core::Solver,
@@ -7,22 +8,39 @@
 //   2. each worker runs one local epoch against its own copy;
 //   3. shared-vector deltas (plus, for adaptive aggregation, a few scalars)
 //      are reduced to the master;
-//   4. the master scales the summed update by γ (1/K for averaging, the
-//      closed-form optimum of Algorithm 4 for adaptive) and applies it;
+//   4. the master scales the summed update by γ (1/contributors for
+//      averaging, the closed-form optimum of Algorithm 4 for adaptive) and
+//      applies it;
 //   5. workers rescale their local weight updates by the same γ, keeping the
 //      global invariant  shared == A·(assembled weights)  exact.
 // Per-epoch simulated time is broken down into local-solver compute, host
 // vector arithmetic, PCIe transfers (GPU workers only) and network
 // reduce/broadcast — exactly the four bars of the paper's Fig. 9.
+//
+// Failure handling (DESIGN.md §8): the paper's algorithms assume all K
+// workers complete every epoch; here the master instead enforces a
+// straggler deadline derived from the timing breakdown and aggregates only
+// the deltas that arrive in time, rescaling γ to the contributing count.
+// A straggler keeps computing and its stale delta is incorporated the round
+// it finishes (the PASSCoDe observation: coordinate descent tolerates
+// delayed updates, and the invariant above is linear so a late Δ preserves
+// it exactly).  A crashed worker loses its in-progress epoch, backs off
+// exponentially, and cold-restarts from the master's state; after
+// `max_restarts` crashes it is evicted and its coordinates freeze.  All of
+// it is driven by a deterministic, seeded FaultInjector so every failure
+// scenario is reproducible — including across checkpoint/resume.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cluster/aggregation.hpp"
+#include "cluster/fault_injector.hpp"
 #include "cluster/network_model.hpp"
 #include "cluster/partition.hpp"
 #include "core/convergence.hpp"
+#include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
 
 namespace tpa::cluster {
@@ -47,6 +65,17 @@ struct DistConfig {
   NetworkModel network = NetworkModel::ethernet_10g();
   double lambda = 1e-3;
   std::uint64_t seed = 99;
+
+  // ---- Fault layer ----
+  /// Deterministic fault schedule; defaults to no faults.
+  FaultConfig faults{};
+  /// Straggler deadline multiplier: the master waits
+  /// grace × (slowest healthy compute + network round) before aggregating
+  /// without the laggards.  Must be > 1.
+  double straggler_grace = 1.5;
+  /// Crashes a worker survives before permanent eviction; backoff between
+  /// restart attempts doubles each time (1, 2, 4, ... epochs).
+  int max_restarts = 3;
 };
 
 struct EpochBreakdown {
@@ -60,10 +89,21 @@ struct EpochBreakdown {
   }
 };
 
+enum class WorkerStatus {
+  kActive,    // participating normally
+  kInFlight,  // missed the deadline; its stale epoch is still running
+  kBackoff,   // crashed; sitting out its exponential backoff
+  kEvicted,   // exceeded max_restarts; coordinates frozen for good
+};
+
+const char* worker_status_name(WorkerStatus status);
+
 class DistributedSolver {
  public:
   /// Partitions `global` across the workers and builds their local solvers.
-  /// The dataset must outlive the solver.
+  /// The dataset must outlive the solver.  Throws std::invalid_argument on
+  /// non-positive num_workers / local_epochs_per_round, num_workers larger
+  /// than the partitionable dimension, or straggler_grace <= 1.
   DistributedSolver(const data::Dataset& global, const DistConfig& config);
 
   int num_workers() const noexcept { return config_.num_workers; }
@@ -81,7 +121,8 @@ class DistributedSolver {
   /// Duality gap of the assembled global model.
   double duality_gap() const;
 
-  /// γ used by the most recent epoch (1/K under averaging).
+  /// γ used by the most recent epoch (1/contributors under averaging; 0 for
+  /// an epoch in which no worker's delta landed).
   double last_gamma() const noexcept { return last_gamma_; }
   const EpochBreakdown& last_breakdown() const noexcept {
     return last_breakdown_;
@@ -97,28 +138,96 @@ class DistributedSolver {
     return shared_;
   }
 
+  // ---- Fault-layer observability ----
+  /// Outer epochs completed (monotone; restore() fast-forwards it).
+  int current_epoch() const noexcept { return epoch_; }
+  /// Workers whose delta landed in the most recent epoch.
+  int last_contributors() const noexcept { return last_contributors_; }
+  /// Straggler deadline applied in the most recent epoch (seconds).
+  double last_deadline_seconds() const noexcept {
+    return last_deadline_seconds_;
+  }
+  WorkerStatus worker_status(int worker) const;
+  /// Every fault / recovery / eviction event since construction.
+  const std::vector<core::ClusterEvent>& events() const noexcept {
+    return events_;
+  }
+
+  // ---- Checkpoint / resume ----
+  /// Snapshot of the committed global state (assembled weights + shared
+  /// vector + epoch counter), suitable for core::write_model_file.
+  core::SavedModel checkpoint() const;
+
+  /// Restores a checkpoint into a freshly constructed solver (same dataset
+  /// and config): scatters the weights back to the workers, fast-forwards
+  /// every local solver's permutation stream to the checkpoint epoch (each
+  /// worker consumes exactly local_epochs_per_round permutations per outer
+  /// epoch, run or skipped, so the streams realign bit-exactly), and
+  /// resumes at checkpoint.epoch + 1.  A resume is a cluster-wide cold
+  /// restart: all workers come back healthy and any delta that was in
+  /// flight when the checkpoint was written is dropped.  Throws
+  /// std::invalid_argument on formulation/dimension mismatch and
+  /// std::logic_error if epochs have already run.
+  void restore(const core::SavedModel& saved);
+
  private:
+  /// A delta that missed its round: buffered on the "network" until the
+  /// straggler finishes, then incorporated with that round's γ.
+  struct PendingDelta {
+    std::vector<double> dshared;   // Δ(shared) vs the broadcast it started from
+    std::vector<float> dweights;   // matching local weight deltas
+    int rounds_needed = 1;
+    int rounds_done = 0;
+  };
+
   struct Worker {
     data::Dataset shard;
     std::unique_ptr<core::RidgeProblem> problem;
     std::unique_ptr<core::Solver> solver;
     std::vector<float> weights_start;  // per-epoch scratch
+    WorkerStatus status = WorkerStatus::kActive;
+    int crash_count = 0;
+    int backoff_remaining = 0;
+    std::optional<PendingDelta> pending;
   };
+
+  void record_event(int worker, core::ClusterEventKind kind);
+  /// Crash bookkeeping: drops in-flight work, schedules the restart backoff
+  /// or evicts after too many failures.
+  void handle_crash(Worker& worker, int index);
 
   const data::Dataset* global_;
   DistConfig config_;
   core::RidgeProblem global_problem_;
   Partition partition_;
+  FaultInjector injector_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<float> shared_;  // the master's (global) shared vector
   EpochBreakdown last_breakdown_{};
   double last_gamma_ = 1.0;
   bool gpu_local_ = false;
   core::TimingWorkload global_workload_;  // paper-scale dims for host/net
+  int epoch_ = 0;
+  int last_contributors_ = 0;
+  double last_deadline_seconds_ = 0.0;
+  std::vector<core::ClusterEvent> events_;
 };
 
-/// Drives a DistributedSolver like core::run_solver, recording γ per epoch.
+/// Periodic checkpointing for run_distributed: every `every_epochs` outer
+/// epochs (and after the final one) the assembled model is written
+/// atomically to `path` via core::write_model_file.
+struct CheckpointConfig {
+  std::string path;
+  int every_epochs = 0;  // 0 disables
+
+  bool enabled() const noexcept { return every_epochs > 0 && !path.empty(); }
+};
+
+/// Drives a DistributedSolver like core::run_solver, recording γ, the
+/// contributor count and all fault events per epoch.  Resumes from the
+/// solver's current epoch (nonzero after restore()).
 core::ConvergenceTrace run_distributed(DistributedSolver& solver,
-                                       const core::RunOptions& options);
+                                       const core::RunOptions& options,
+                                       const CheckpointConfig& ckpt = {});
 
 }  // namespace tpa::cluster

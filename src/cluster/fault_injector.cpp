@@ -1,0 +1,101 @@
+#include "cluster/fault_injector.hpp"
+
+#include "util/rng.hpp"
+
+namespace tpa::cluster {
+namespace {
+
+/// Stateless uniform in [0, 1) keyed by (seed, epoch, worker, salt): three
+/// splitmix64 rounds over the mixed key, then the 53-bit mantissa trick.
+double keyed_uniform(std::uint64_t seed, int epoch, int worker,
+                     std::uint64_t salt) {
+  std::uint64_t state = seed ^ (static_cast<std::uint64_t>(epoch) * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(worker) * 0xbf58476d1ce4e5b9ULL) ^ salt;
+  util::splitmix64_next(state);
+  util::splitmix64_next(state);
+  const std::uint64_t bits = util::splitmix64_next(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+int severity(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return 4;
+    case FaultKind::kStall:
+      return 3;
+    case FaultKind::kCorruptDelta:
+      return 2;
+    case FaultKind::kDropDelta:
+      return 1;
+    case FaultKind::kNone:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDropDelta:
+      return "drop";
+    case FaultKind::kCorruptDelta:
+      return "corrupt";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(std::move(config)) {}
+
+FaultEvent FaultInjector::query(int epoch, int worker) const {
+  FaultEvent hit;
+  hit.epoch = epoch;
+  hit.worker = worker;
+
+  // Scripted events first: exact epoch match, or any epoch at/after a
+  // permanent stall's start.
+  for (const auto& event : config_.scripted) {
+    if (event.worker != worker) continue;
+    const bool applies = event.permanent && event.kind == FaultKind::kStall
+                             ? epoch >= event.epoch
+                             : epoch == event.epoch;
+    if (!applies) continue;
+    if (severity(event.kind) > severity(hit.kind)) {
+      hit.kind = event.kind;
+      hit.stall_factor = event.stall_factor;
+      hit.permanent = event.permanent;
+    }
+  }
+  if (hit.kind != FaultKind::kNone) return hit;
+
+  // Rate-based draws, one independent coin per kind so the marginal rates
+  // match the config; a multi-hit resolves to the most severe kind.
+  struct Draw {
+    FaultKind kind;
+    double rate;
+    std::uint64_t salt;
+  };
+  const Draw draws[] = {
+      {FaultKind::kCrash, config_.crash_rate, 0xc4a54ULL},
+      {FaultKind::kStall, config_.stall_rate, 0x57a11ULL},
+      {FaultKind::kCorruptDelta, config_.corrupt_rate, 0xc0447ULL},
+      {FaultKind::kDropDelta, config_.drop_rate, 0xd40bbULL},
+  };
+  for (const auto& draw : draws) {
+    if (draw.rate <= 0.0) continue;
+    if (keyed_uniform(config_.seed, epoch, worker, draw.salt) < draw.rate &&
+        severity(draw.kind) > severity(hit.kind)) {
+      hit.kind = draw.kind;
+      hit.stall_factor = config_.stall_factor;
+    }
+  }
+  return hit;
+}
+
+}  // namespace tpa::cluster

@@ -1,0 +1,77 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The distributed solver (Algorithms 3/4) is synchronous: one dead or slow
+// worker stalls the Reduce forever.  To test the failure handling that a
+// production deployment needs, the injector decides — per (epoch, worker) —
+// whether that worker crashes, straggles, or delivers a dropped/corrupted
+// delta this round.  Two sources combine:
+//   * scripted events: exact (epoch, worker, kind) triples for reproducible
+//     scenario tests ("worker 2 crashes at epoch 3");
+//   * rate-based events: independent per-(epoch, worker) Bernoulli draws,
+//     for the ablation sweeps.
+// Decisions are pure functions of (seed, epoch, worker): the injector keeps
+// no mutable stream state, so queries are order-independent and a resumed
+// run replays the exact fault schedule of the original.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tpa::cluster {
+
+enum class FaultKind {
+  kNone,
+  kCrash,         // worker dies mid-epoch; its local epoch is lost
+  kStall,         // worker runs `stall_factor` times slower this epoch
+  kDropDelta,     // worker's reduced delta is lost in transit
+  kCorruptDelta,  // worker's delta arrives bit-flipped (checksum catches it)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scripted fault.  `permanent` (stalls only) applies the stall to every
+/// epoch >= `epoch` — a persistently slow machine rather than a hiccup.
+struct FaultEvent {
+  int epoch = 0;   // 1-based outer epoch
+  int worker = 0;  // worker index
+  FaultKind kind = FaultKind::kNone;
+  double stall_factor = 4.0;
+  bool permanent = false;
+};
+
+struct FaultConfig {
+  std::vector<FaultEvent> scripted;
+  /// Independent per-(epoch, worker) probabilities; all default to "never".
+  double crash_rate = 0.0;
+  double stall_rate = 0.0;
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  /// Slow-down applied by rate-drawn stalls.
+  double stall_factor = 4.0;
+  std::uint64_t seed = 0x5eed;
+
+  bool any_faults() const noexcept {
+    return !scripted.empty() || crash_rate > 0.0 || stall_rate > 0.0 ||
+           drop_rate > 0.0 || corrupt_rate > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig config);
+
+  /// The fault hitting `worker` at `epoch` (kind == kNone when healthy).
+  /// Scripted events win over rate draws; at most one fault per query, with
+  /// the most severe kind (crash > stall > corrupt > drop) on a collision.
+  /// Pure: same (seed, epoch, worker) always answers the same, in any order.
+  FaultEvent query(int epoch, int worker) const;
+
+  bool enabled() const noexcept { return config_.any_faults(); }
+  const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace tpa::cluster

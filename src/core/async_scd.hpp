@@ -29,6 +29,9 @@ class AsyncScdSolver : public Solver {
   ModelState& mutable_state() override { return state_; }
 
   EpochReport run_epoch() override;
+  void skip_epoch_randomness(int epochs) override {
+    permutation_.skip(epochs);
+  }
 
   /// Cumulative shared-vector adds lost to races (zero for atomic commits).
   std::uint64_t total_lost_updates() const noexcept { return lost_updates_; }

@@ -2,6 +2,36 @@
 
 namespace tpa::core {
 
+const char* cluster_event_name(ClusterEventKind kind) {
+  switch (kind) {
+    case ClusterEventKind::kCrash:
+      return "crash";
+    case ClusterEventKind::kRestart:
+      return "restart";
+    case ClusterEventKind::kEvict:
+      return "evict";
+    case ClusterEventKind::kDeadlineMiss:
+      return "deadline-miss";
+    case ClusterEventKind::kLateDelta:
+      return "late-delta";
+    case ClusterEventKind::kDeltaDropped:
+      return "delta-dropped";
+    case ClusterEventKind::kDeltaCorrupted:
+      return "delta-corrupted";
+    case ClusterEventKind::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+std::size_t ConvergenceTrace::count_events(ClusterEventKind kind) const {
+  std::size_t count = 0;
+  for (const auto& event : events_) {
+    if (event.kind == kind) ++count;
+  }
+  return count;
+}
+
 double ConvergenceTrace::final_gap() const {
   return points_.empty() ? 0.0 : points_.back().gap;
 }

@@ -16,14 +16,41 @@ struct TracePoint {
   double sim_seconds = 0.0;  // cumulative simulated time
   double wall_seconds = 0.0; // cumulative measured time
   double gamma = 0.0;        // aggregation parameter (distributed runs)
+  int contributors = 0;      // workers whose delta landed (distributed runs)
+};
+
+/// What happened to a worker during a distributed run.  Recorded on the
+/// trace so figure harnesses and tests can correlate gap excursions with the
+/// fault schedule (kCheckpoint marks master-side checkpoint writes).
+enum class ClusterEventKind {
+  kCrash,           // worker lost its in-progress epoch
+  kRestart,         // worker rejoined after crash backoff
+  kEvict,           // worker permanently removed; coordinates frozen
+  kDeadlineMiss,    // worker missed the straggler deadline this epoch
+  kLateDelta,       // a straggler's stale delta was finally incorporated
+  kDeltaDropped,    // worker's delta lost in transit (excluded this epoch)
+  kDeltaCorrupted,  // worker's delta failed checksum (excluded this epoch)
+  kCheckpoint,      // master wrote an epoch checkpoint
+};
+
+const char* cluster_event_name(ClusterEventKind kind);
+
+struct ClusterEvent {
+  int epoch = 0;
+  int worker = -1;  // -1 for master-side events (checkpoints)
+  ClusterEventKind kind = ClusterEventKind::kCrash;
 };
 
 class ConvergenceTrace {
  public:
   void add(TracePoint point) { points_.push_back(point); }
+  void add_event(ClusterEvent event) { events_.push_back(event); }
 
   const std::vector<TracePoint>& points() const noexcept { return points_; }
   bool empty() const noexcept { return points_.empty(); }
+
+  const std::vector<ClusterEvent>& events() const noexcept { return events_; }
+  std::size_t count_events(ClusterEventKind kind) const;
 
   double final_gap() const;
 
@@ -34,6 +61,7 @@ class ConvergenceTrace {
 
  private:
   std::vector<TracePoint> points_;
+  std::vector<ClusterEvent> events_;
 };
 
 struct RunOptions {

@@ -1,5 +1,6 @@
 #include "core/model_io.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -13,7 +14,7 @@ constexpr char kMagic[4] = {'T', 'P', 'A', 'M'};
 
 struct Header {
   std::uint32_t formulation = 0;
-  std::uint32_t reserved = 0;
+  std::uint32_t epoch = 0;  // was reserved/zero before checkpointing
   std::uint64_t weights = 0;
   std::uint64_t shared = 0;
   double lambda = 0.0;
@@ -44,6 +45,7 @@ void write_model(std::ostream& out, const SavedModel& model) {
   Header header;
   header.formulation =
       model.formulation == Formulation::kPrimal ? 0u : 1u;
+  header.epoch = model.epoch;
   header.weights = model.weights.size();
   header.shared = model.shared.size();
   header.lambda = model.lambda;
@@ -57,9 +59,26 @@ void write_model(std::ostream& out, const SavedModel& model) {
 }
 
 void write_model_file(const std::string& path, const SavedModel& model) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  write_model(out, model);
+  // Write-to-temp + rename so a crash mid-write never exposes a torn file:
+  // rename(2) is atomic within a filesystem, and serve::Server::reload only
+  // ever opens `path`, which always names a complete model.
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open " + tmp + " for writing");
+    }
+    write_model(out, model);
+    out.flush();
+    if (!out) throw std::runtime_error("model write failed: " + tmp);
+    out.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw std::runtime_error("cannot rename " + tmp + " to " + path);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
 }
 
 SavedModel read_model(std::istream& in) {
@@ -75,6 +94,7 @@ SavedModel read_model(std::istream& in) {
   SavedModel model;
   model.formulation =
       header.formulation == 0 ? Formulation::kPrimal : Formulation::kDual;
+  model.epoch = header.epoch;
   model.lambda = header.lambda;
   model.weights.resize(header.weights);
   model.shared.resize(header.shared);

@@ -1,8 +1,11 @@
 // Model serialization: save / load trained weight vectors so the CLI tool
-// (tools/tpascd_train) can train once and predict later.
+// (tools/tpascd_train) can train once and predict later, plus the epoch
+// checkpoints the distributed trainer resumes from.
 //
-// Format: magic "TPAM", little-endian header (formulation tag, weight and
-// shared-vector lengths, lambda), raw float arrays, FNV-1a checksum.
+// Format: magic "TPAM", little-endian header (formulation tag, epoch
+// counter, weight and shared-vector lengths, lambda), raw float arrays,
+// FNV-1a checksum.  The epoch field occupies what used to be a reserved
+// header word, so pre-checkpoint files load as epoch 0.
 #pragma once
 
 #include <iosfwd>
@@ -15,12 +18,20 @@ namespace tpa::core {
 struct SavedModel {
   Formulation formulation = Formulation::kPrimal;
   double lambda = 0.0;
+  /// Outer epochs completed when this model was written (0 for a plain
+  /// save); run_distributed resumes from epoch + 1.
+  std::uint32_t epoch = 0;
   std::vector<float> weights;
   std::vector<float> shared;
 };
 
 /// Writes the model; throws std::runtime_error on IO failure.
 void write_model(std::ostream& out, const SavedModel& model);
+
+/// Atomic file save: writes to `<path>.tmp`, then rename(2)s over `path`,
+/// so a crash mid-save (or mid-checkpoint) never leaves a torn file at
+/// `path` — readers see either the old complete model or the new one.
+/// Throws std::runtime_error on IO failure (the .tmp is removed).
 void write_model_file(const std::string& path, const SavedModel& model);
 
 /// Reads a model; throws std::runtime_error on bad magic, truncation or

@@ -23,6 +23,9 @@ class SeqScdSolver final : public Solver {
   ModelState& mutable_state() override { return state_; }
 
   EpochReport run_epoch() override;
+  void skip_epoch_randomness(int epochs) override {
+    permutation_.skip(epochs);
+  }
 
  private:
   const RidgeProblem* problem_;

@@ -36,6 +36,14 @@ class Solver {
   /// memory); zero for CPU solvers.
   virtual double setup_sim_seconds() const { return 0.0; }
 
+  /// Advances the solver's per-epoch randomness (the coordinate
+  /// permutation stream) past `epochs` epochs without doing any work.  The
+  /// distributed engine calls this for workers that sit an epoch out
+  /// (backoff, eviction, in-flight straggler) and when resuming from a
+  /// checkpoint, so that every worker's stream position is always exactly
+  /// `epochs_elapsed x passes` — the precondition for bit-exact resume.
+  virtual void skip_epoch_randomness(int epochs) { (void)epochs; }
+
   /// Convenience: duality gap of the current state.
   double duality_gap(const RidgeProblem& problem) const {
     return problem.duality_gap(formulation(), state().weights,

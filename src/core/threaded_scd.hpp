@@ -31,6 +31,9 @@ class ThreadedScdSolver final : public Solver {
   ModelState& mutable_state() override { return state_; }
 
   EpochReport run_epoch() override;
+  void skip_epoch_randomness(int epochs) override {
+    permutation_.skip(epochs);
+  }
 
  private:
   void worker_pass(std::span<const std::uint32_t> coords);

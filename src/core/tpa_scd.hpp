@@ -58,6 +58,9 @@ class TpaScdSolver final : public Solver {
 
   EpochReport run_epoch() override;
   double setup_sim_seconds() const override { return setup_sim_seconds_; }
+  void skip_epoch_randomness(int epochs) override {
+    permutation_.skip(epochs);
+  }
 
   const gpusim::DeviceSpec& device() const noexcept { return options_.device; }
   const gpusim::DeviceMemory& device_memory() const noexcept {

@@ -1,7 +1,9 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "serve/scorer.hpp"
 #include "util/logging.hpp"
@@ -23,10 +25,22 @@ std::uint64_t Server::publish(const core::SavedModel& saved) {
 }
 
 std::uint64_t Server::reload(const std::string& path) {
-  const auto version = registry_.publish_file(path);
-  metrics_.record_reload();
-  TPA_LOG_INFO << "serve: reloaded " << path << " as model v" << version;
-  return version;
+  const int attempts = 1 + std::max(0, config_.reload_retries);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      const auto version = registry_.publish_file(path);
+      metrics_.record_reload();
+      TPA_LOG_INFO << "serve: reloaded " << path << " as model v" << version;
+      return version;
+    } catch (const std::exception& error) {
+      if (attempt >= attempts) throw;
+      TPA_LOG_WARN << "serve: reload of " << path << " failed (attempt "
+                   << attempt << "/" << attempts << "): " << error.what()
+                   << "; retrying in " << config_.reload_backoff_ms << "ms";
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.reload_backoff_ms));
+    }
+  }
 }
 
 SubmitResult Server::submit(sparse::SparseVectorView row) {

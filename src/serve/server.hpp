@@ -25,6 +25,13 @@ struct ServerConfig {
   std::size_t threads = 4;  // pool workers executing batches
   BatcherConfig batcher;
   std::uint64_t log_every_batches = 0;  // 0 = no periodic stats logging
+  /// reload() retries a failed file read this many extra times, sleeping
+  /// `reload_backoff_ms` between attempts.  A trainer that saves with
+  /// write-to-tmp + rename can leave a reader a transiently missing or
+  /// half-renamed file; one short retry rides it out while the old model
+  /// stays live.  0 disables retrying.
+  int reload_retries = 1;
+  int reload_backoff_ms = 50;
 };
 
 class Server {
@@ -37,8 +44,10 @@ class Server {
 
   /// Publishes a model (atomic hot-reload); returns the new version.
   std::uint64_t publish(const core::SavedModel& saved);
-  /// Loads and publishes a .tpam file; throws on a bad file (old model
-  /// stays live).
+  /// Loads and publishes a .tpam file.  Transient read failures (file
+  /// mid-rename by a trainer, torn partial write) are retried
+  /// `reload_retries` times with `reload_backoff_ms` backoff; if every
+  /// attempt fails the last error is rethrown and the old model stays live.
   std::uint64_t reload(const std::string& path);
 
   const ModelRegistry& registry() const noexcept { return registry_; }

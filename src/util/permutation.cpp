@@ -40,4 +40,8 @@ std::span<const std::uint32_t> EpochPermutation::next() {
   return order_;
 }
 
+void EpochPermutation::skip(int epochs) {
+  for (int i = 0; i < epochs; ++i) shuffle(order_, rng_);
+}
+
 }  // namespace tpa::util

@@ -32,6 +32,12 @@ class EpochPermutation {
   /// Reshuffles and returns a view valid until the next call.
   std::span<const std::uint32_t> next();
 
+  /// Advances the stream past `epochs` shuffles without exposing them.
+  /// Used to realign a solver's permutation stream when resuming from a
+  /// checkpoint: skip(k) followed by next() yields exactly what the
+  /// (k+1)-th next() of a fresh stream would have.
+  void skip(int epochs);
+
   std::size_t size() const noexcept { return order_.size(); }
 
  private:

@@ -40,6 +40,44 @@ TEST(DistributedSolver, RejectsNonPositiveWorkers) {
       std::invalid_argument);
 }
 
+TEST(DistributedSolver, RejectsMoreWorkersThanCoordinates) {
+  // Dual partitions examples (512 here), primal partitions features (1024):
+  // a worker count above the partitionable dimension would leave workers
+  // with no coordinates and must fail fast with a diagnostic.
+  try {
+    DistributedSolver(corpus(), base_config(Formulation::kDual, 513));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("examples"), std::string::npos);
+  }
+  // 513 workers over 1024 features is fine for the primal form...
+  EXPECT_NO_THROW(
+      DistributedSolver(corpus(), base_config(Formulation::kPrimal, 513)));
+  // ...but 1025 is not.
+  EXPECT_THROW(
+      DistributedSolver(corpus(), base_config(Formulation::kPrimal, 1025)),
+      std::invalid_argument);
+}
+
+TEST(DistributedSolver, RejectsNonPositiveLocalEpochs) {
+  for (const int passes : {0, -3}) {
+    auto config = base_config(Formulation::kDual, 2);
+    config.local_epochs_per_round = passes;
+    EXPECT_THROW(DistributedSolver(corpus(), config), std::invalid_argument)
+        << passes;
+  }
+}
+
+TEST(DistributedSolver, RejectsDegenerateFaultTuning) {
+  // A grace multiplier <= 1 would declare every healthy worker a straggler.
+  auto config = base_config(Formulation::kDual, 2);
+  config.straggler_grace = 1.0;
+  EXPECT_THROW(DistributedSolver(corpus(), config), std::invalid_argument);
+  config.straggler_grace = 1.5;
+  config.max_restarts = -1;
+  EXPECT_THROW(DistributedSolver(corpus(), config), std::invalid_argument);
+}
+
 TEST(DistributedSolver, SingleWorkerMatchesSequentialConvergence) {
   for (const auto f : {Formulation::kPrimal, Formulation::kDual}) {
     DistributedSolver dist(corpus(), base_config(f, 1));

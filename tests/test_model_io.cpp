@@ -47,6 +47,49 @@ TEST(ModelIo, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(ModelIo, EpochCounterRoundTrips) {
+  auto model = sample_model();
+  model.epoch = 42;
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_model(stream, model);
+  EXPECT_EQ(read_model(stream).epoch, 42u);
+}
+
+TEST(ModelIo, DefaultEpochIsZeroForPlainModels) {
+  // Pre-fault-layer files carried a zeroed reserved word where the epoch
+  // now lives, so a model saved without one must read back as epoch 0.
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_model(stream, sample_model());
+  EXPECT_EQ(read_model(stream).epoch, 0u);
+}
+
+TEST(ModelIo, FileWriteIsAtomic) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "tpa_model_atomic.tpam").string();
+  // Seed the destination with an older model, then overwrite.
+  auto old_model = sample_model();
+  write_model_file(path, old_model);
+  auto new_model = sample_model();
+  new_model.weights = {7.0F};
+  new_model.epoch = 9;
+  write_model_file(path, new_model);
+  // The save went through <path>.tmp + rename: the temp file must be gone
+  // and the destination must hold the complete new model.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const auto loaded = read_model_file(path);
+  EXPECT_EQ(loaded.weights, new_model.weights);
+  EXPECT_EQ(loaded.epoch, 9u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, FailedWriteLeavesNoTempFileBehind) {
+  // An unwritable destination directory throws — and must clean up the
+  // partially written temp file instead of littering.
+  const std::string path = "/no/such/dir/model.tpam";
+  EXPECT_THROW(write_model_file(path, sample_model()), std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
 TEST(ModelIo, DetectsBadMagic) {
   std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
   stream << "not a model at all";
@@ -82,7 +125,11 @@ TEST(ModelIo, MissingFileThrows) {
 class ModelIoFileCorruption : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = (std::filesystem::temp_directory_path() / "tpa_model_corrupt.tpam")
+    // One file per test: ctest -j runs the fixture's tests as concurrent
+    // processes, so a shared path would race.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = (std::filesystem::temp_directory_path() /
+             ("tpa_model_corrupt_" + std::string(info->name()) + ".tpam"))
                 .string();
     write_model_file(path_, sample_model());
     std::ifstream in(path_, std::ios::binary);

@@ -209,6 +209,68 @@ TEST(ModelRegistryTest, PublishFileRoundTrips) {
   std::filesystem::remove(path);
 }
 
+// --- Reload retry ----------------------------------------------------------
+
+TEST(ServerTest, ReloadRetriesRideOutATornWrite) {
+  // A trainer checkpointing with write-to-tmp + rename can race a reader:
+  // the first open may see a truncated file.  reload() must retry after a
+  // short backoff and pick up the completed model once the writer finishes.
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tpa_serve_torn.tpam")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "TPAM-half-a-header";  // torn: magic but no valid payload
+  }
+  ServerConfig config;
+  config.reload_retries = 5;
+  config.reload_backoff_ms = 30;
+  Server server(config);
+
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    core::write_model_file(path, primal_model({4.0F, 2.0F}));
+  });
+  const auto version = server.reload(path);
+  writer.join();
+
+  EXPECT_EQ(version, 1u);
+  ASSERT_NE(server.registry().current(), nullptr);
+  EXPECT_EQ(server.registry().current()->beta,
+            (std::vector<float>{4.0F, 2.0F}));
+  std::filesystem::remove(path);
+}
+
+TEST(ServerTest, ReloadRethrowsAfterExhaustedRetriesAndKeepsOldModel) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tpa_serve_dead.tpam")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "TPAMpermanently-broken";
+  }
+  ServerConfig config;
+  config.reload_retries = 2;
+  config.reload_backoff_ms = 1;
+  Server server(config);
+  server.publish(primal_model({1.0F}));
+
+  // Every attempt fails: the last error surfaces, the v1 model stays live
+  // and keeps serving.
+  EXPECT_THROW(server.reload(path), std::runtime_error);
+  EXPECT_EQ(server.registry().version(), 1u);
+  EXPECT_EQ(server.registry().current()->beta[0], 1.0F);
+  std::filesystem::remove(path);
+}
+
+TEST(ServerTest, ReloadWithZeroRetriesFailsFast) {
+  ServerConfig config;
+  config.reload_retries = 0;
+  Server server(config);
+  EXPECT_THROW(server.reload("/no/such/model.tpam"), std::runtime_error);
+  EXPECT_EQ(server.registry().version(), 0u);
+}
+
 // --- Batcher edge cases ----------------------------------------------------
 
 /// Executor that scores nothing: fulfils each promise with the batch's size

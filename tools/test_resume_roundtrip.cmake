@@ -1,0 +1,36 @@
+# Integration test: a killed-and-resumed distributed run must reproduce the
+# uninterrupted run exactly.  Three CLI runs on the same generated dataset:
+#   1. straight 8-epoch run                          -> full.tpam
+#   2. 4-epoch run writing checkpoints every 2       -> resume.ckpt
+#   3. --resume continuation to epoch 8              -> resumed.tpam
+# Bit-exact resume means the two saved models are byte-identical.
+set(common --generate webspam --examples 512 --features 1024 --workers 2
+    --adaptive --target-gap 0)
+execute_process(
+  COMMAND ${TRAIN_BIN} ${common} --epochs 8 --save ${WORK_DIR}/full.tpam
+  RESULT_VARIABLE full_result)
+if(NOT full_result EQUAL 0)
+  message(FATAL_ERROR "uninterrupted run failed: ${full_result}")
+endif()
+execute_process(
+  COMMAND ${TRAIN_BIN} ${common} --epochs 4 --checkpoint-every 2
+          --checkpoint ${WORK_DIR}/resume.ckpt
+  RESULT_VARIABLE half_result)
+if(NOT half_result EQUAL 0)
+  message(FATAL_ERROR "checkpointing run failed: ${half_result}")
+endif()
+execute_process(
+  COMMAND ${TRAIN_BIN} ${common} --epochs 8
+          --resume ${WORK_DIR}/resume.ckpt --save ${WORK_DIR}/resumed.tpam
+  RESULT_VARIABLE resume_result)
+if(NOT resume_result EQUAL 0)
+  message(FATAL_ERROR "resumed run failed: ${resume_result}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/full.tpam ${WORK_DIR}/resumed.tpam
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  message(FATAL_ERROR
+          "resumed model differs from the uninterrupted run's model")
+endif()

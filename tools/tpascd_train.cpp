@@ -11,6 +11,10 @@
 //                --lambda 1e-3 --target-gap 1e-6 --save model.tpam
 //   tpascd_train --generate webspam --workers 4 --adaptive
 //   tpascd_train --data test.svm --load model.tpam        # predict only
+//   tpascd_train --workers 4 --checkpoint-every 5 --checkpoint run.ckpt
+//   tpascd_train --workers 4 --resume run.ckpt            # continue run
+//   tpascd_train --workers 4 --crash-worker 1 --crash-epoch 3
+//                --stall-worker 2 --stall-factor 4        # fault drill
 #include <cstdio>
 #include <memory>
 
@@ -91,6 +95,23 @@ int main(int argc, char** argv) {
   parser.add_flag("adaptive", "use adaptive aggregation (Algorithm 4)");
   parser.add_option("save", "write the trained model here");
   parser.add_option("load", "load a model instead of training");
+  parser.add_option("checkpoint", "checkpoint file for distributed runs",
+                    "tpascd.ckpt");
+  parser.add_option("checkpoint-every",
+                    "write a checkpoint every N epochs (0 = off)", "0");
+  parser.add_option("resume",
+                    "resume a distributed run from this checkpoint");
+  parser.add_option("crash-worker",
+                    "inject a crash on this worker (-1 = off)", "-1");
+  parser.add_option("crash-epoch", "epoch of the injected crash", "3");
+  parser.add_option("stall-worker",
+                    "permanently stall this worker (-1 = off)", "-1");
+  parser.add_option("stall-factor", "slow-down factor of the stall", "4");
+  parser.add_option("straggler-grace",
+                    "deadline multiplier before degraded aggregation",
+                    "1.5");
+  parser.add_option("max-restarts", "crashes before a worker is evicted",
+                    "3");
   parser.add_option("log", "log level: debug|info|warn|error", "warn");
   if (!parser.parse(argc, argv)) return 1;
   util::set_log_level(util::parse_log_level(parser.get_string("log", "warn")));
@@ -99,7 +120,18 @@ int main(int argc, char** argv) {
     const auto dataset = load_dataset(parser);
     std::printf("dataset: %s\n",
                 sparse::compute_stats(dataset.by_row()).summary().c_str());
-    const double lambda = parser.get_double("lambda", 1e-3);
+    // A resumed run takes formulation and lambda from the checkpoint so the
+    // objective is guaranteed to match the interrupted run.
+    const bool resuming = parser.has("resume");
+    core::SavedModel resume_model;
+    if (resuming) {
+      resume_model = core::read_model_file(parser.get_string("resume", ""));
+      std::printf("resuming %s run from epoch %u (lambda %.3g)\n",
+                  formulation_name(resume_model.formulation),
+                  resume_model.epoch, resume_model.lambda);
+    }
+    const double lambda =
+        resuming ? resume_model.lambda : parser.get_double("lambda", 1e-3);
     const core::RidgeProblem problem(dataset, lambda);
 
     // Predict-only path.
@@ -115,9 +147,11 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto formulation = parser.get_string("form", "dual") == "primal"
-                                 ? core::Formulation::kPrimal
-                                 : core::Formulation::kDual;
+    const auto formulation =
+        resuming ? resume_model.formulation
+        : parser.get_string("form", "dual") == "primal"
+            ? core::Formulation::kPrimal
+            : core::Formulation::kDual;
     core::SolverConfig solver_config;
     solver_config.kind =
         core::parse_solver_kind(parser.get_string("solver", "tpa-titanx"));
@@ -136,6 +170,11 @@ int main(int argc, char** argv) {
     model.formulation = formulation;
     model.lambda = lambda;
 
+    if (resuming && workers <= 1) {
+      throw std::invalid_argument(
+          "--resume needs a distributed run (--workers > 1)");
+    }
+
     if (workers > 1) {
       cluster::DistConfig dist;
       dist.formulation = formulation;
@@ -145,13 +184,53 @@ int main(int argc, char** argv) {
                              : cluster::AggregationMode::kAveraging;
       dist.local_solver = solver_config;
       dist.lambda = lambda;
+      dist.straggler_grace = parser.get_double("straggler-grace", 1.5);
+      dist.max_restarts = static_cast<int>(parser.get_int("max-restarts", 3));
+      const int crash_worker =
+          static_cast<int>(parser.get_int("crash-worker", -1));
+      if (crash_worker >= 0) {
+        cluster::FaultEvent crash;
+        crash.kind = cluster::FaultKind::kCrash;
+        crash.worker = crash_worker;
+        crash.epoch = static_cast<int>(parser.get_int("crash-epoch", 3));
+        dist.faults.scripted.push_back(crash);
+      }
+      const int stall_worker =
+          static_cast<int>(parser.get_int("stall-worker", -1));
+      if (stall_worker >= 0) {
+        cluster::FaultEvent stall;
+        stall.kind = cluster::FaultKind::kStall;
+        stall.worker = stall_worker;
+        stall.epoch = 1;
+        stall.stall_factor = parser.get_double("stall-factor", 4.0);
+        stall.permanent = true;
+        dist.faults.scripted.push_back(stall);
+      }
+
       cluster::DistributedSolver solver(dataset, dist);
-      const auto trace = cluster::run_distributed(solver, run_options);
+      if (resuming) solver.restore(resume_model);
+      cluster::CheckpointConfig ckpt;
+      ckpt.every_epochs =
+          static_cast<int>(parser.get_int("checkpoint-every", 0));
+      ckpt.path = parser.get_string("checkpoint", "tpascd.ckpt");
+      const auto trace = cluster::run_distributed(solver, run_options, ckpt);
       std::printf("trained %d epochs across %d workers (%s): gap %.3e, "
                   "simulated %.3f s\n",
                   trace.points().back().epoch, workers,
                   aggregation_name(dist.aggregation), trace.final_gap(),
                   trace.points().back().sim_seconds);
+      if (!trace.events().empty()) {
+        std::printf(
+            "fault log: %zu crashes, %zu restarts, %zu evictions, "
+            "%zu deadline misses, %zu late deltas, %zu checkpoints\n",
+            trace.count_events(core::ClusterEventKind::kCrash),
+            trace.count_events(core::ClusterEventKind::kRestart),
+            trace.count_events(core::ClusterEventKind::kEvict),
+            trace.count_events(core::ClusterEventKind::kDeadlineMiss),
+            trace.count_events(core::ClusterEventKind::kLateDelta),
+            trace.count_events(core::ClusterEventKind::kCheckpoint));
+      }
+      model.epoch = static_cast<std::uint32_t>(solver.current_epoch());
       model.weights = solver.global_weights();
       model.shared = solver.global_shared();
     } else {
