@@ -1,0 +1,63 @@
+#include "bench_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace tpa::bench {
+namespace {
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string to_json(const std::string& suite,
+                    std::span<const BenchResult> results) {
+  std::string out = "{\n  \"suite\": ";
+  append_escaped(out, suite);
+  out += ",\n  \"results\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, r.name);
+    out += ", \"value\": " + number(r.value);
+    out += ", \"unit\": ";
+    append_escaped(out, r.unit);
+    for (const auto& [key, value] : r.extra) {
+      out += ", ";
+      append_escaped(out, key);
+      out += ": " + number(value);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void write_json_file(const std::string& path, const std::string& suite,
+                     std::span<const BenchResult> results) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("bench_json: cannot open " + path);
+  }
+  file << to_json(suite, results);
+  if (!file) {
+    throw std::runtime_error("bench_json: write failed for " + path);
+  }
+}
+
+}  // namespace tpa::bench

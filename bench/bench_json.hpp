@@ -1,0 +1,32 @@
+// Minimal JSON emitter for benchmark results.  Benchmarks accumulate
+// BenchResult records (one primary value plus optional named extras) and
+// write them as a single machine-readable document; the committed
+// BENCH_kernels.json / BENCH_epoch.json artefacts and the CI perf-smoke job
+// both consume this format.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tpa::bench {
+
+struct BenchResult {
+  std::string name;   // e.g. "sparse_dot/vectorized"
+  double value = 0.0; // primary metric
+  std::string unit;   // e.g. "ns_per_op"
+  // Secondary metrics, emitted as additional numeric fields.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Serialises `results` as {"suite": ..., "results": [...]}.  Doubles are
+/// printed with enough digits to round-trip.
+std::string to_json(const std::string& suite,
+                    std::span<const BenchResult> results);
+
+/// Writes to_json(...) to `path`; throws std::runtime_error on I/O failure.
+void write_json_file(const std::string& path, const std::string& suite,
+                     std::span<const BenchResult> results);
+
+}  // namespace tpa::bench

@@ -6,10 +6,13 @@
 // DESIGN.md §5 calibration of seconds-per-nonzero.
 #include <benchmark/benchmark.h>
 
+#include "core/convergence.hpp"
 #include "core/round_engine.hpp"
 #include "core/seq_scd.hpp"
+#include "core/threaded_scd.hpp"
 #include "data/generators.hpp"
 #include "gpusim/block_context.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "serve/scorer.hpp"
 #include "util/permutation.hpp"
@@ -29,37 +32,71 @@ const data::Dataset& bench_dataset() {
   return dataset;
 }
 
+// Backend argument for the kernel benchmarks: 0 = scalar reference,
+// 1 = vectorized multi-accumulator.
+linalg::KernelBackend backend_arg(const benchmark::State& state) {
+  return state.range(0) == 0 ? linalg::KernelBackend::kScalar
+                             : linalg::KernelBackend::kVectorized;
+}
+
 void BM_SparseDot(benchmark::State& state) {
   const auto& dataset = bench_dataset();
+  const auto backend = backend_arg(state);
   std::vector<float> dense(dataset.num_features(), 1.5F);
   sparse::Index row = 0;
   std::uint64_t entries = 0;
   for (auto _ : state) {
     const auto view = dataset.by_row().row(row);
-    benchmark::DoNotOptimize(linalg::sparse_dot(view, dense));
+    benchmark::DoNotOptimize(backend == linalg::KernelBackend::kScalar
+                                 ? linalg::scalar::sparse_dot(view, dense)
+                                 : linalg::vec::sparse_dot(view, dense));
     entries += view.nnz();
     row = (row + 1) % dataset.num_examples();
   }
   state.counters["nnz/s"] = benchmark::Counter(
       static_cast<double>(entries), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SparseDot);
+BENCHMARK(BM_SparseDot)->Arg(0)->Arg(1)->ArgName("vec");
+
+// Same kernel over the bucketed padded views: aligned starts, no remainder
+// iterations.  Compare against BM_SparseDot/vec:1 to see the layout's
+// contribution alone.
+void BM_SparseDotBucketed(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  std::vector<float> dense(dataset.num_features(), 1.5F);
+  sparse::Index row = 0;
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    const auto view = dataset.bucketed_rows().padded(row);
+    benchmark::DoNotOptimize(linalg::vec::sparse_dot(view, dense));
+    entries += view.nnz();
+    row = (row + 1) % dataset.num_examples();
+  }
+  state.counters["nnz/s"] = benchmark::Counter(
+      static_cast<double>(entries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SparseDotBucketed);
 
 void BM_SparseAxpy(benchmark::State& state) {
   const auto& dataset = bench_dataset();
+  const auto backend = backend_arg(state);
   std::vector<float> dense(dataset.num_features(), 0.0F);
   sparse::Index row = 0;
   std::uint64_t entries = 0;
   for (auto _ : state) {
     const auto view = dataset.by_row().row(row);
-    linalg::sparse_axpy(0.001, view, dense);
+    if (backend == linalg::KernelBackend::kScalar) {
+      linalg::scalar::sparse_axpy(0.001, view, dense);
+    } else {
+      linalg::vec::sparse_axpy(0.001, view, dense);
+    }
     entries += view.nnz();
     row = (row + 1) % dataset.num_examples();
   }
   state.counters["nnz/s"] = benchmark::Counter(
       static_cast<double>(entries), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SparseAxpy);
+BENCHMARK(BM_SparseAxpy)->Arg(0)->Arg(1)->ArgName("vec");
 
 void BM_CoordinateDelta(benchmark::State& state) {
   const auto& dataset = bench_dataset();
@@ -150,9 +187,12 @@ void BM_SeqScdEpoch(benchmark::State& state) {
   const auto& dataset = bench_dataset();
   const core::RidgeProblem problem(dataset, 1e-3);
   core::SeqScdSolver solver(problem, core::Formulation::kDual, 7);
+  const auto saved = linalg::kernel_backend();
+  linalg::set_kernel_backend(backend_arg(state));
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.run_epoch());
   }
+  linalg::set_kernel_backend(saved);
   // Wall seconds per nonzero: the measured counterpart of the CpuCostModel
   // constant (DESIGN.md §5).
   state.counters["ns/nnz"] = benchmark::Counter(
@@ -160,7 +200,47 @@ void BM_SeqScdEpoch(benchmark::State& state) {
           static_cast<double>(dataset.nnz()),
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
-BENCHMARK(BM_SeqScdEpoch);
+BENCHMARK(BM_SeqScdEpoch)->Arg(0)->Arg(1)->ArgName("vec");
+
+// One epoch of the pool-backed threaded solver: the persistent workers are
+// reused across iterations, so this measures steady-state scheduling, not
+// thread spawn.
+void BM_ThreadedScdEpoch(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  const core::RidgeProblem problem(dataset, 1e-3);
+  core::ThreadedScdSolver solver(problem, core::Formulation::kDual,
+                                 static_cast<int>(state.range(0)),
+                                 core::CommitPolicy::kAtomicAdd, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.run_epoch());
+  }
+  state.counters["ns/nnz"] = benchmark::Counter(
+      1e9 * static_cast<double>(state.iterations()) *
+          static_cast<double>(dataset.nnz()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ThreadedScdEpoch)->Arg(1)->Arg(4)->ArgName("threads");
+
+// Full duality-gap evaluation (one matrix pass + objectives), serial vs
+// pooled — the quantity `gap_every` amortises and `gap_threads` parallelises.
+void BM_DualityGap(benchmark::State& state) {
+  const auto& dataset = bench_dataset();
+  const core::RidgeProblem problem(dataset, 1e-3);
+  std::vector<float> alpha(problem.num_coordinates(core::Formulation::kDual),
+                           0.01F);
+  std::vector<float> wbar(problem.shared_dim(core::Formulation::kDual), 0.0F);
+  linalg::csr_matvec_transposed(dataset.by_row(), alpha, wbar);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool(threads);
+  util::ThreadPool* gap_pool = threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.dual_duality_gap(alpha, wbar, gap_pool));
+  }
+  state.counters["nnz/s"] = benchmark::Counter(
+      static_cast<double>(dataset.nnz()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DualityGap)->Arg(1)->Arg(4)->ArgName("threads");
 
 void BM_AsyncEngineEpoch(benchmark::State& state) {
   const auto& dataset = bench_dataset();

@@ -1,0 +1,302 @@
+// Perf smoke harness: times the kernel layer (scalar reference vs the
+// multi-accumulator vectorized backend) and the system-level hot paths
+// (sequential epoch per backend, pooled threaded epoch, serial vs pooled
+// duality gap, gap_every amortisation), then emits the measurements as
+// BENCH_kernels.json and BENCH_epoch.json via the bench_json emitter.
+//
+// With --check it also *asserts* that the vectorized backend is not slower
+// than the scalar reference beyond a slack factor, so CI catches a kernel
+// regression without depending on the absolute speed of the runner.
+//
+//   perf_smoke --out-dir . --check --slack 1.15
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/convergence.hpp"
+#include "core/ridge_problem.hpp"
+#include "core/seq_scd.hpp"
+#include "core/threaded_scd.hpp"
+#include "data/generators.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace tpa;
+
+volatile double g_sink = 0.0;  // defeats dead-code elimination
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`trials` wall time of fn(), in seconds.  Best-of (rather than
+/// mean) rejects scheduler noise, which dominates on shared CI runners.
+template <typename Fn>
+double best_of(int trials, const Fn& fn) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const double start = now_seconds();
+    fn();
+    best = std::min(best, now_seconds() - start);
+  }
+  return best;
+}
+
+struct KernelTimes {
+  double scalar_ns_per_nnz = 0.0;
+  double vec_ns_per_nnz = 0.0;
+  double speedup() const { return scalar_ns_per_nnz / vec_ns_per_nnz; }
+};
+
+/// Times one full sweep of `fn(view)` over every bucketed row view with both
+/// backends.  Both backends see identical (aligned, padded) views, so the
+/// comparison isolates the kernel body.
+template <typename ScalarFn, typename VecFn>
+KernelTimes time_kernel(const data::Dataset& dataset, int trials,
+                        const ScalarFn& scalar_fn, const VecFn& vec_fn) {
+  const auto& rows = dataset.bucketed_rows();
+  const double padded_nnz = static_cast<double>(rows.padded_nnz());
+  KernelTimes times;
+  times.scalar_ns_per_nnz = 1e9 / padded_nnz *
+                            best_of(trials, [&] {
+                              for (sparse::Index r = 0; r < rows.count(); ++r) {
+                                scalar_fn(rows.padded(r));
+                              }
+                            });
+  times.vec_ns_per_nnz = 1e9 / padded_nnz *
+                         best_of(trials, [&] {
+                           for (sparse::Index r = 0; r < rows.count(); ++r) {
+                             vec_fn(rows.padded(r));
+                           }
+                         });
+  return times;
+}
+
+void add_kernel_result(std::vector<bench::BenchResult>& results,
+                       const std::string& name, const KernelTimes& times) {
+  results.push_back({name + "/scalar", times.scalar_ns_per_nnz, "ns_per_nnz",
+                     {}});
+  results.push_back({name + "/vectorized", times.vec_ns_per_nnz, "ns_per_nnz",
+                     {{"speedup_vs_scalar", times.speedup()}}});
+  std::printf("%-24s scalar %7.3f ns/nnz   vectorized %7.3f ns/nnz   %.2fx\n",
+              name.c_str(), times.scalar_ns_per_nnz, times.vec_ns_per_nnz,
+              times.speedup());
+}
+
+int run(int argc, char** argv) {
+  util::ArgParser parser("perf_smoke",
+                         "kernel + epoch perf smoke test with JSON output");
+  parser.add_option("out-dir", "directory for BENCH_*.json", ".");
+  parser.add_option("examples", "generated example count", "4096");
+  parser.add_option("features", "generated feature count", "8192");
+  parser.add_option("trials", "timing trials per measurement", "5");
+  parser.add_option("epochs", "epochs for the gap_every comparison", "10");
+  parser.add_option("threads", "threads for pooled measurements", "4");
+  parser.add_option("slack",
+                    "--check fails if vectorized > scalar * slack", "1.15");
+  parser.add_flag("check", "exit non-zero on a kernel perf regression");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const auto out_dir = parser.get_string("out-dir", ".");
+  const int trials = static_cast<int>(parser.get_int("trials", 5));
+  const int threads = static_cast<int>(parser.get_int("threads", 4));
+  const double slack = parser.get_double("slack", 1.15);
+
+  data::WebspamLikeConfig config;
+  config.num_examples =
+      static_cast<data::Index>(parser.get_int("examples", 4096));
+  config.num_features =
+      static_cast<data::Index>(parser.get_int("features", 8192));
+  const auto dataset = data::make_webspam_like(config);
+  std::printf("dataset: %u x %u, nnz %zu (padded %zu)\n",
+              dataset.num_examples(), dataset.num_features(),
+              static_cast<std::size_t>(dataset.nnz()),
+              dataset.bucketed_rows().padded_nnz());
+
+  // ---- kernel suite -------------------------------------------------------
+  std::vector<bench::BenchResult> kernels;
+  std::vector<float> dense(dataset.num_features(), 1.5F);
+  std::vector<float> target(dataset.num_features(), 0.5F);
+  std::vector<float> out(dataset.num_features(), 0.0F);
+
+  const auto dot_times = time_kernel(
+      dataset, trials,
+      [&](const sparse::SparseVectorView& v) {
+        g_sink = linalg::scalar::sparse_dot(v, dense);
+      },
+      [&](const sparse::SparseVectorView& v) {
+        g_sink = linalg::vec::sparse_dot(v, dense);
+      });
+  add_kernel_result(kernels, "sparse_dot", dot_times);
+
+  const auto residual_times = time_kernel(
+      dataset, trials,
+      [&](const sparse::SparseVectorView& v) {
+        g_sink = linalg::scalar::sparse_residual_dot(v, target, dense);
+      },
+      [&](const sparse::SparseVectorView& v) {
+        g_sink = linalg::vec::sparse_residual_dot(v, target, dense);
+      });
+  add_kernel_result(kernels, "sparse_residual_dot", residual_times);
+
+  const auto axpy_times = time_kernel(
+      dataset, trials,
+      [&](const sparse::SparseVectorView& v) {
+        linalg::scalar::sparse_axpy(1e-6, v, out);
+      },
+      [&](const sparse::SparseVectorView& v) {
+        linalg::vec::sparse_axpy(1e-6, v, out);
+      });
+  add_kernel_result(kernels, "sparse_axpy", axpy_times);
+
+  // Dense reduction / update over the feature dimension.
+  {
+    const double n = static_cast<double>(dense.size());
+    const int reps = 512;
+    KernelTimes times;
+    times.scalar_ns_per_nnz = 1e9 / (n * reps) * best_of(trials, [&] {
+      for (int i = 0; i < reps; ++i) g_sink = linalg::scalar::dot(dense, target);
+    });
+    times.vec_ns_per_nnz = 1e9 / (n * reps) * best_of(trials, [&] {
+      for (int i = 0; i < reps; ++i) g_sink = linalg::vec::dot(dense, target);
+    });
+    add_kernel_result(kernels, "dense_dot", times);
+
+    KernelTimes axpy;
+    axpy.scalar_ns_per_nnz = 1e9 / (n * reps) * best_of(trials, [&] {
+      for (int i = 0; i < reps; ++i) linalg::scalar::axpy(1e-6, dense, out);
+    });
+    axpy.vec_ns_per_nnz = 1e9 / (n * reps) * best_of(trials, [&] {
+      for (int i = 0; i < reps; ++i) linalg::vec::axpy(1e-6, dense, out);
+    });
+    add_kernel_result(kernels, "dense_axpy", axpy);
+  }
+
+  bench::write_json_file(out_dir + "/BENCH_kernels.json", "kernels", kernels);
+
+  // ---- epoch suite --------------------------------------------------------
+  std::vector<bench::BenchResult> epochs;
+  const core::RidgeProblem problem(dataset, 1e-3);
+  const auto saved_backend = linalg::kernel_backend();
+
+  {
+    core::SeqScdSolver solver(problem, core::Formulation::kDual, 7);
+    linalg::set_kernel_backend(linalg::KernelBackend::kScalar);
+    const double scalar_s = best_of(trials, [&] { solver.run_epoch(); });
+    linalg::set_kernel_backend(linalg::KernelBackend::kVectorized);
+    const double vec_s = best_of(trials, [&] { solver.run_epoch(); });
+    linalg::set_kernel_backend(saved_backend);
+    epochs.push_back({"seq_epoch/scalar", scalar_s, "seconds", {}});
+    epochs.push_back({"seq_epoch/vectorized", vec_s, "seconds",
+                      {{"speedup_vs_scalar", scalar_s / vec_s}}});
+    std::printf("seq_epoch                scalar %.4fs   vectorized %.4fs   "
+                "%.2fx\n", scalar_s, vec_s, scalar_s / vec_s);
+  }
+
+  {
+    core::ThreadedScdSolver solver(problem, core::Formulation::kDual, threads,
+                                   core::CommitPolicy::kAtomicAdd, 7);
+    const double pooled_s = best_of(trials, [&] { solver.run_epoch(); });
+    epochs.push_back({"threaded_epoch/pooled", pooled_s, "seconds",
+                      {{"threads", static_cast<double>(threads)}}});
+    std::printf("threaded_epoch (pooled)  %.4fs with %d threads\n", pooled_s,
+                threads);
+  }
+
+  {
+    std::vector<float> alpha(problem.num_coordinates(core::Formulation::kDual),
+                             0.01F);
+    std::vector<float> wbar(problem.shared_dim(core::Formulation::kDual),
+                            0.0F);
+    linalg::csr_matvec_transposed(dataset.by_row(), alpha, wbar);
+    const double serial_s = best_of(trials, [&] {
+      g_sink = problem.dual_duality_gap(alpha, wbar);
+    });
+    util::ThreadPool pool(static_cast<std::size_t>(threads));
+    const double pooled_s = best_of(trials, [&] {
+      g_sink = problem.dual_duality_gap(alpha, wbar, &pool);
+    });
+    epochs.push_back({"duality_gap/serial", serial_s, "seconds", {}});
+    epochs.push_back({"duality_gap/pooled", pooled_s, "seconds",
+                      {{"threads", static_cast<double>(threads)},
+                       {"speedup_vs_serial", serial_s / pooled_s}}});
+    std::printf("duality_gap              serial %.5fs   pooled %.5fs\n",
+                serial_s, pooled_s);
+  }
+
+  {
+    const int run_epochs = static_cast<int>(parser.get_int("epochs", 10));
+    core::RunOptions every;
+    every.max_epochs = run_epochs;
+    every.target_gap = 0.0;
+    core::RunOptions amortised = every;
+    amortised.gap_every = 5;
+    const double every_s = best_of(1, [&] {
+      core::SeqScdSolver solver(problem, core::Formulation::kDual, 7);
+      core::run_solver(solver, problem, every);
+    });
+    const double amortised_s = best_of(1, [&] {
+      core::SeqScdSolver solver(problem, core::Formulation::kDual, 7);
+      core::run_solver(solver, problem, amortised);
+    });
+    epochs.push_back({"run/gap_every_1", every_s, "seconds",
+                      {{"epochs", static_cast<double>(run_epochs)}}});
+    epochs.push_back({"run/gap_every_5", amortised_s, "seconds",
+                      {{"epochs", static_cast<double>(run_epochs)},
+                       {"speedup_vs_every_epoch", every_s / amortised_s}}});
+    std::printf("run (%d epochs)          gap_every=1 %.4fs   gap_every=5 "
+                "%.4fs   %.2fx\n", run_epochs, every_s, amortised_s,
+                every_s / amortised_s);
+  }
+
+  bench::write_json_file(out_dir + "/BENCH_epoch.json", "epoch", epochs);
+  std::printf("wrote %s/BENCH_kernels.json and %s/BENCH_epoch.json\n",
+              out_dir.c_str(), out_dir.c_str());
+
+  if (parser.get_bool("check")) {
+    // The vectorized backend must not lose to the reference beyond `slack`
+    // on any reduction kernel, nor on the end-to-end sequential epoch.
+    struct Check {
+      const char* name;
+      double scalar, vec;
+    };
+    const std::vector<Check> checks = {
+        {"sparse_dot", dot_times.scalar_ns_per_nnz, dot_times.vec_ns_per_nnz},
+        {"sparse_residual_dot", residual_times.scalar_ns_per_nnz,
+         residual_times.vec_ns_per_nnz},
+        {"sparse_axpy", axpy_times.scalar_ns_per_nnz,
+         axpy_times.vec_ns_per_nnz},
+    };
+    bool ok = true;
+    for (const auto& c : checks) {
+      if (c.vec > c.scalar * slack) {
+        std::printf("CHECK FAILED: %s vectorized %.3f ns/nnz > scalar %.3f "
+                    "* slack %.2f\n", c.name, c.vec, c.scalar, slack);
+        ok = false;
+      }
+    }
+    if (!ok) return 2;
+    std::printf("perf checks passed (slack %.2f)\n", slack);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

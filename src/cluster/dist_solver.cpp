@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "gpusim/device.hpp"
 #include "sparse/io_binary.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace tpa::cluster {
@@ -475,9 +477,10 @@ core::EpochReport DistributedSolver::run_epoch() {
   return report;
 }
 
-double DistributedSolver::duality_gap() const {
+double DistributedSolver::duality_gap(util::ThreadPool* pool) const {
   const auto weights = global_weights();
-  return global_problem_.duality_gap(config_.formulation, weights, shared_);
+  return global_problem_.duality_gap(config_.formulation, weights, shared_,
+                                     pool);
 }
 
 double DistributedSolver::setup_sim_seconds() const {
@@ -576,6 +579,12 @@ core::ConvergenceTrace run_distributed(DistributedSolver& solver,
   const int start_epoch = solver.current_epoch();
   std::size_t seen_events = solver.events().size();
   int last_checkpointed = start_epoch;
+  const int interval = core::effective_gap_interval(options);
+  std::unique_ptr<util::ThreadPool> gap_pool;
+  if (options.gap_threads > 1) {
+    gap_pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(options.gap_threads));
+  }
   for (int epoch = start_epoch + 1; epoch <= options.max_epochs; ++epoch) {
     const auto report = solver.run_epoch();
     sim_total += report.sim_seconds;
@@ -589,11 +598,10 @@ core::ConvergenceTrace run_distributed(DistributedSolver& solver,
       trace.add_event({epoch, -1, core::ClusterEventKind::kCheckpoint});
       last_checkpointed = epoch;
     }
-    if (epoch % options.record_interval == 0 ||
-        epoch == options.max_epochs) {
+    if (epoch % interval == 0 || epoch == options.max_epochs) {
       core::TracePoint point;
       point.epoch = epoch;
-      point.gap = solver.duality_gap();
+      point.gap = solver.duality_gap(gap_pool.get());
       point.sim_seconds = sim_total;
       point.wall_seconds = wall_total;
       point.gamma = solver.last_gamma();

@@ -118,8 +118,9 @@ class DistributedSolver {
   /// breakdown components.
   core::EpochReport run_epoch();
 
-  /// Duality gap of the assembled global model.
-  double duality_gap() const;
+  /// Duality gap of the assembled global model.  A non-null pool
+  /// parallelises the evaluation (see core::RidgeProblem::duality_gap).
+  double duality_gap(util::ThreadPool* pool = nullptr) const;
 
   /// γ used by the most recent epoch (1/contributors under averaging; 0 for
   /// an epoch in which no worker's delta landed).

@@ -1,5 +1,10 @@
 #include "core/convergence.hpp"
 
+#include <algorithm>
+#include <memory>
+
+#include "util/thread_pool.hpp"
+
 namespace tpa::core {
 
 const char* cluster_event_name(ClusterEventKind kind) {
@@ -50,21 +55,32 @@ std::optional<int> ConvergenceTrace::epochs_to_gap(double eps) const {
   return std::nullopt;
 }
 
+int effective_gap_interval(const RunOptions& options) {
+  const int interval =
+      options.gap_every > 0 ? options.gap_every : options.record_interval;
+  return std::max(1, interval);
+}
+
 ConvergenceTrace run_solver(Solver& solver, const RidgeProblem& problem,
                             const RunOptions& options) {
   ConvergenceTrace trace;
   double sim_total =
       options.include_setup_time ? solver.setup_sim_seconds() : 0.0;
   double wall_total = 0.0;
+  const int interval = effective_gap_interval(options);
+  std::unique_ptr<util::ThreadPool> gap_pool;
+  if (options.gap_threads > 1) {
+    gap_pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(options.gap_threads));
+  }
   for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
     const auto report = solver.run_epoch();
     sim_total += report.sim_seconds;
     wall_total += report.wall_seconds;
-    if (epoch % options.record_interval == 0 ||
-        epoch == options.max_epochs) {
+    if (epoch % interval == 0 || epoch == options.max_epochs) {
       TracePoint point;
       point.epoch = epoch;
-      point.gap = solver.duality_gap(problem);
+      point.gap = solver.duality_gap(problem, gap_pool.get());
       point.sim_seconds = sim_total;
       point.wall_seconds = wall_total;
       trace.add(point);

@@ -72,9 +72,23 @@ struct RunOptions {
   /// matrix pass; it is measurement, not training, and is excluded from the
   /// reported times, as in the paper).
   int record_interval = 1;
+  /// Evaluate the gap only every `gap_every` epochs (0 falls back to
+  /// `record_interval`).  Amortises the per-evaluation matrix pass over
+  /// several training epochs; the final epoch is always evaluated, so the
+  /// final gap matches an every-epoch run exactly.  With target_gap set,
+  /// early stopping can trigger only at evaluated epochs — a run may
+  /// therefore overshoot by up to gap_every − 1 epochs.
+  int gap_every = 0;
+  /// Workers used for each gap evaluation (1 = serial).  The parallel value
+  /// is deterministic for any thread count but may differ from the serial
+  /// one by reduction reassociation (DESIGN.md §9).
+  int gap_threads = 1;
   /// Include the solver's one-time setup (GPU upload) in cumulative time.
   bool include_setup_time = true;
 };
+
+/// The epoch stride between gap evaluations implied by `options`.
+int effective_gap_interval(const RunOptions& options);
 
 /// Drives `solver` for up to max_epochs, recording the duality gap.
 ConvergenceTrace run_solver(Solver& solver, const RidgeProblem& problem,

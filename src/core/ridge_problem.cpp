@@ -1,11 +1,48 @@
 #include "core/ridge_problem.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "linalg/vector_ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tpa::core {
+namespace {
+
+// Fixed reduction grain for the pool-parallel objectives.  Partial sums are
+// computed per grain-sized chunk and combined in chunk order, so the result
+// is a pure function of the data and this constant — independent of how many
+// workers the pool has (DESIGN.md §9).
+constexpr std::size_t kGapGrain = 1u << 13;
+
+// Sums fn(begin, end) over grain-sized chunks of [0, count), scheduling the
+// chunks across `pool` and combining the partials in ascending chunk order.
+template <typename ChunkFn>
+double chunked_sum(util::ThreadPool& pool, std::size_t count,
+                   const ChunkFn& fn) {
+  const std::size_t chunks = (count + kGapGrain - 1) / kGapGrain;
+  std::vector<double> partial(chunks, 0.0);
+  pool.parallel_for_chunks(chunks, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::size_t begin = c * kGapGrain;
+      const std::size_t end = std::min(count, begin + kGapGrain);
+      partial[c] = fn(begin, end);
+    }
+  });
+  double total = 0.0;
+  for (const double p : partial) total += p;
+  return total;
+}
+
+// A pool with a single worker would add scheduling cost without splitting
+// any work; treat it as the serial path.
+util::ThreadPool* effective_pool(util::ThreadPool* pool) {
+  return (pool != nullptr && pool->size() > 1) ? pool : nullptr;
+}
+
+}  // namespace
 
 RidgeProblem::RidgeProblem(const data::Dataset& dataset, double lambda,
                            Index global_examples)
@@ -30,8 +67,14 @@ Index RidgeProblem::shared_dim(Formulation f) const noexcept {
 
 SparseVectorView RidgeProblem::coordinate_vector(Formulation f,
                                                  Index j) const {
-  return f == Formulation::kPrimal ? dataset_->by_col().col(j)
-                                   : dataset_->by_row().row(j);
+  return f == Formulation::kPrimal ? dataset_->bucketed_cols().padded(j)
+                                   : dataset_->bucketed_rows().padded(j);
+}
+
+SparseVectorView RidgeProblem::coordinate_vector_unpadded(Formulation f,
+                                                          Index j) const {
+  return f == Formulation::kPrimal ? dataset_->bucketed_cols().unpadded(j)
+                                   : dataset_->bucketed_rows().unpadded(j);
 }
 
 double RidgeProblem::coordinate_squared_norm(Formulation f, Index j) const {
@@ -59,9 +102,26 @@ double RidgeProblem::coordinate_delta(Formulation f, Index j,
 }
 
 double RidgeProblem::primal_objective(std::span<const float> beta,
-                                      std::span<const float> w) const {
+                                      std::span<const float> w,
+                                      util::ThreadPool* pool) const {
   const auto n = static_cast<double>(effective_examples());
   const auto labels = dataset_->labels();
+  if (util::ThreadPool* p = effective_pool(pool)) {
+    const double residual_sq =
+        chunked_sum(*p, w.size(), [&](std::size_t b, std::size_t e) {
+          double acc = 0.0;
+          for (std::size_t i = b; i < e; ++i) {
+            const double r = static_cast<double>(w[i]) - labels[i];
+            acc += r * r;
+          }
+          return acc;
+        });
+    const double beta_sq =
+        chunked_sum(*p, beta.size(), [&](std::size_t b, std::size_t e) {
+          return linalg::dot(beta.subspan(b, e - b), beta.subspan(b, e - b));
+        });
+    return residual_sq / (2.0 * n) + 0.5 * lambda_ * beta_sq;
+  }
   double residual_sq = 0.0;
   for (std::size_t i = 0; i < w.size(); ++i) {
     const double r = static_cast<double>(w[i]) - labels[i];
@@ -72,9 +132,29 @@ double RidgeProblem::primal_objective(std::span<const float> beta,
 }
 
 double RidgeProblem::dual_objective(std::span<const float> alpha,
-                                    std::span<const float> wbar) const {
+                                    std::span<const float> wbar,
+                                    util::ThreadPool* pool) const {
   const auto n = static_cast<double>(effective_examples());
   const auto labels = dataset_->labels();
+  if (util::ThreadPool* p = effective_pool(pool)) {
+    const double alpha_sq =
+        chunked_sum(*p, alpha.size(), [&](std::size_t b, std::size_t e) {
+          return linalg::dot(alpha.subspan(b, e - b), alpha.subspan(b, e - b));
+        });
+    const double wbar_sq =
+        chunked_sum(*p, wbar.size(), [&](std::size_t b, std::size_t e) {
+          return linalg::dot(wbar.subspan(b, e - b), wbar.subspan(b, e - b));
+        });
+    const double alpha_y =
+        chunked_sum(*p, alpha.size(), [&](std::size_t b, std::size_t e) {
+          double acc = 0.0;
+          for (std::size_t i = b; i < e; ++i) {
+            acc += static_cast<double>(alpha[i]) * labels[i];
+          }
+          return acc;
+        });
+    return -0.5 * n * alpha_sq - wbar_sq / (2.0 * lambda_) + alpha_y;
+  }
   const double alpha_sq = linalg::squared_norm(alpha);
   const double wbar_sq = linalg::squared_norm(wbar);
   double alpha_y = 0.0;
@@ -85,26 +165,42 @@ double RidgeProblem::dual_objective(std::span<const float> alpha,
 }
 
 double RidgeProblem::primal_duality_gap(std::span<const float> beta,
-                                        std::span<const float> w) const {
+                                        std::span<const float> w,
+                                        util::ThreadPool* pool) const {
   // Candidate dual point from eq. (6): α = (y − w)/N, then w̄ = Aᵀα.
+  util::ThreadPool* p = effective_pool(pool);
   const auto alpha = dual_from_primal_shared(w);
-  const auto wbar = linalg::csr_matvec_transposed(dataset_->by_row(), alpha);
-  return std::abs(primal_objective(beta, w) - dual_objective(alpha, wbar));
+  std::vector<float> wbar(static_cast<std::size_t>(num_features()));
+  if (p != nullptr) {
+    // Aᵀα as per-column dots over the CSC orientation: race-free rows of
+    // independent work, unlike the serial CSR scatter.
+    linalg::csc_matvec_transposed(dataset_->by_col(), alpha, wbar, p);
+  } else {
+    linalg::csr_matvec_transposed(dataset_->by_row(), alpha, wbar);
+  }
+  return std::abs(primal_objective(beta, w, p) -
+                  dual_objective(alpha, wbar, p));
 }
 
 double RidgeProblem::dual_duality_gap(std::span<const float> alpha,
-                                      std::span<const float> wbar) const {
+                                      std::span<const float> wbar,
+                                      util::ThreadPool* pool) const {
   // Candidate primal point from eq. (5): β = w̄/λ, then w = Aβ.
+  util::ThreadPool* p = effective_pool(pool);
   const auto beta = primal_from_dual_shared(wbar);
-  const auto w = linalg::csr_matvec(dataset_->by_row(), beta);
-  return std::abs(primal_objective(beta, w) - dual_objective(alpha, wbar));
+  std::vector<float> w(static_cast<std::size_t>(num_examples()));
+  // Per-row dots: serial and pooled schedules produce identical values.
+  linalg::csr_matvec(dataset_->by_row(), beta, w, p);
+  return std::abs(primal_objective(beta, w, p) -
+                  dual_objective(alpha, wbar, p));
 }
 
 double RidgeProblem::duality_gap(Formulation f,
                                  std::span<const float> weights,
-                                 std::span<const float> shared) const {
-  return f == Formulation::kPrimal ? primal_duality_gap(weights, shared)
-                                   : dual_duality_gap(weights, shared);
+                                 std::span<const float> shared,
+                                 util::ThreadPool* pool) const {
+  return f == Formulation::kPrimal ? primal_duality_gap(weights, shared, pool)
+                                   : dual_duality_gap(weights, shared, pool);
 }
 
 std::vector<float> RidgeProblem::primal_from_dual_shared(

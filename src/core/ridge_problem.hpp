@@ -15,6 +15,10 @@
 #include "core/formulation.hpp"
 #include "data/dataset.hpp"
 
+namespace tpa::util {
+class ThreadPool;
+}
+
 namespace tpa::core {
 
 using data::Index;
@@ -50,8 +54,14 @@ class RidgeProblem {
   Index shared_dim(Formulation f) const noexcept;
 
   /// The sparse vector of coordinate j: column a_m (primal) or row ā_n
-  /// (dual).
+  /// (dual).  Served from the dataset's bucketed layout: the view is padded
+  /// to a multiple of 8 entries (padding repeats the last index with value
+  /// 0, contributing exactly zero to every kernel) so the unrolled kernels
+  /// never run a remainder loop.
   SparseVectorView coordinate_vector(Formulation f, Index j) const;
+
+  /// The exact unpadded slice (true nnz) of coordinate j.
+  SparseVectorView coordinate_vector_unpadded(Formulation f, Index j) const;
   /// ||a_m||² or ||ā_n||² (precomputed, double precision).
   double coordinate_squared_norm(Formulation f, Index j) const;
 
@@ -62,23 +72,35 @@ class RidgeProblem {
                           std::span<const float> shared,
                           double weight_j) const;
 
-  /// P(β) with w = Aβ supplied by the caller.
+  /// P(β) with w = Aβ supplied by the caller.  A non-null `pool` evaluates
+  /// the partial sums in fixed-size chunks across the pool; the chunked
+  /// combine order is deterministic (independent of thread count), within
+  /// reduction-reassociation tolerance of the serial value (DESIGN.md §9).
   double primal_objective(std::span<const float> beta,
-                          std::span<const float> w) const;
-  /// D(α) with w̄ = Aᵀα supplied by the caller.
+                          std::span<const float> w,
+                          util::ThreadPool* pool = nullptr) const;
+  /// D(α) with w̄ = Aᵀα supplied by the caller.  Pool semantics as above.
   double dual_objective(std::span<const float> alpha,
-                        std::span<const float> wbar) const;
+                        std::span<const float> wbar,
+                        util::ThreadPool* pool = nullptr) const;
 
-  /// GP(β) = |P(β) − D((y − Aβ)/N)|; costs one pass over the matrix.
+  /// GP(β) = |P(β) − D((y − Aβ)/N)|; costs one pass over the matrix.  With a
+  /// pool, the Aᵀα pass runs race-free over the column orientation and the
+  /// objectives evaluate chunk-parallel, so the convergence check no longer
+  /// gates training epochs on a serial matrix pass.
   double primal_duality_gap(std::span<const float> beta,
-                            std::span<const float> w) const;
-  /// GD(α) = |P(Aᵀα/λ) − D(α)|; costs one pass over the matrix.
+                            std::span<const float> w,
+                            util::ThreadPool* pool = nullptr) const;
+  /// GD(α) = |P(Aᵀα/λ) − D(α)|; costs one pass over the matrix.  Pool
+  /// semantics as above (the Aβ pass parallelises over rows).
   double dual_duality_gap(std::span<const float> alpha,
-                          std::span<const float> wbar) const;
+                          std::span<const float> wbar,
+                          util::ThreadPool* pool = nullptr) const;
 
   /// Dispatches to the gap matching `f` (weights/shared per formulation).
   double duality_gap(Formulation f, std::span<const float> weights,
-                     std::span<const float> shared) const;
+                     std::span<const float> shared,
+                     util::ThreadPool* pool = nullptr) const;
 
   /// β = (1/λ)·w̄  (eq. 5, given w̄ = Aᵀα).
   std::vector<float> primal_from_dual_shared(std::span<const float> wbar) const;

@@ -44,10 +44,12 @@ class Solver {
   /// `epochs_elapsed x passes` — the precondition for bit-exact resume.
   virtual void skip_epoch_randomness(int epochs) { (void)epochs; }
 
-  /// Convenience: duality gap of the current state.
-  double duality_gap(const RidgeProblem& problem) const {
+  /// Convenience: duality gap of the current state.  A non-null pool
+  /// parallelises the evaluation (see RidgeProblem::duality_gap).
+  double duality_gap(const RidgeProblem& problem,
+                     util::ThreadPool* pool = nullptr) const {
     return problem.duality_gap(formulation(), state().weights,
-                               state().shared);
+                               state().shared, pool);
   }
 };
 

@@ -1,8 +1,7 @@
 #include "core/threaded_scd.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <thread>
-#include <vector>
 
 #include "util/timer.hpp"
 
@@ -19,7 +18,8 @@ ThreadedScdSolver::ThreadedScdSolver(const RidgeProblem& problem,
       state_(ModelState::zeros(problem, f)),
       permutation_(problem.num_coordinates(f), util::Rng(seed)),
       cost_model_(cost_model),
-      workload_(TimingWorkload::for_dataset(problem.dataset(), f)) {
+      workload_(TimingWorkload::for_dataset(problem.dataset(), f)),
+      pool_(static_cast<std::size_t>(std::max(1, threads))) {
   if (threads <= 0) {
     throw std::invalid_argument("ThreadedScdSolver: threads must be positive");
   }
@@ -58,23 +58,15 @@ EpochReport ThreadedScdSolver::run_epoch() {
   const util::WallTimer timer;
   const auto order = permutation_.next();
 
-  // Static partition of the shuffled coordinates across the threads, as the
-  // OpenMP parallel-for in the paper's implementation does.
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads_));
-  const std::size_t chunk =
-      (order.size() + static_cast<std::size_t>(threads_) - 1) /
-      static_cast<std::size_t>(threads_);
-  for (int t = 0; t < threads_; ++t) {
-    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
-    if (begin >= order.size()) break;
-    const std::size_t end = std::min(order.size(), begin + chunk);
-    pool.emplace_back(
-        [this, slice = order.subspan(begin, end - begin)] {
-          worker_pass(slice);
-        });
-  }
-  for (auto& worker : pool) worker.join();
+  // Static partition of the shuffled coordinates across the persistent pool,
+  // as the OpenMP parallel-for in the paper's implementation does.  The
+  // default grain is ceil(order / threads) — the same per-thread slices the
+  // old spawn-per-epoch code built — and workers race on the shared vector
+  // inside worker_pass exactly as before (atomic_ref vs wild commits).
+  pool_.parallel_for_chunks(
+      order.size(), [this, order](std::size_t begin, std::size_t end) {
+        worker_pass(order.subspan(begin, end - begin));
+      });
 
   EpochReport report;
   report.coordinate_updates = order.size();

@@ -16,6 +16,7 @@
 #include "core/round_engine.hpp"
 #include "core/solver.hpp"
 #include "util/permutation.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tpa::core {
 
@@ -47,6 +48,10 @@ class ThreadedScdSolver final : public Solver {
   util::EpochPermutation permutation_;
   CpuCostModel cost_model_;
   TimingWorkload workload_;
+  // Persistent workers reused across epochs: run_epoch schedules the same
+  // static coordinate partition onto this pool instead of spawning (and
+  // joining) `threads_` fresh std::threads every epoch.
+  util::ThreadPool pool_;
 };
 
 }  // namespace tpa::core

@@ -1,10 +1,19 @@
 #include "data/dataset.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "sparse/convert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tpa::data {
+namespace {
+
+// Below this the pool's spawn cost exceeds the precompute it would split.
+constexpr sparse::Offset kParallelSetupNnz = 1u << 16;
+
+}  // namespace
 
 Dataset::Dataset(std::string name, sparse::CsrMatrix by_row,
                  std::vector<float> labels)
@@ -15,8 +24,17 @@ Dataset::Dataset(std::string name, sparse::CsrMatrix by_row,
     throw std::invalid_argument("Dataset: labels count must equal rows");
   }
   by_col_ = sparse::csr_to_csc(by_row_);
-  row_norms_ = by_row_.row_squared_norms();
-  col_norms_ = by_col_.col_squared_norms();
+  bucketed_rows_ = sparse::BucketedLayout::from_rows(by_row_);
+  bucketed_cols_ = sparse::BucketedLayout::from_cols(by_col_);
+  if (by_row_.nnz() >= kParallelSetupNnz) {
+    util::ThreadPool pool(std::min<std::size_t>(
+        std::max(1u, std::thread::hardware_concurrency()), 8));
+    row_norms_ = by_row_.row_squared_norms(&pool);
+    col_norms_ = by_col_.col_squared_norms(&pool);
+  } else {
+    row_norms_ = by_row_.row_squared_norms();
+    col_norms_ = by_col_.col_squared_norms();
+  }
 }
 
 std::size_t Dataset::memory_bytes() const noexcept {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sparse/bucketed.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
 
@@ -49,6 +50,15 @@ class Dataset {
   const sparse::CscMatrix& by_col() const noexcept { return by_col_; }
   std::span<const float> labels() const noexcept { return labels_; }
 
+  /// Bucketed (aligned, padded, nnz-class-grouped) copies of the two
+  /// orientations — the layout the solver hot paths consume (DESIGN.md §9).
+  const sparse::BucketedLayout& bucketed_rows() const noexcept {
+    return bucketed_rows_;
+  }
+  const sparse::BucketedLayout& bucketed_cols() const noexcept {
+    return bucketed_cols_;
+  }
+
   /// ||ā_n||² for every example row (dual updates).
   std::span<const double> row_squared_norms() const noexcept {
     return row_norms_;
@@ -70,6 +80,8 @@ class Dataset {
   std::string name_;
   sparse::CsrMatrix by_row_;
   sparse::CscMatrix by_col_;
+  sparse::BucketedLayout bucketed_rows_;
+  sparse::BucketedLayout bucketed_cols_;
   std::vector<float> labels_;
   std::vector<double> row_norms_;
   std::vector<double> col_norms_;

@@ -1,0 +1,351 @@
+#include "linalg/kernels.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+// Explicit SIMD paths for the gather-bound sparse kernels: the compiler will
+// happily vectorise the dense multi-accumulator loops on its own but never
+// emits hardware gathers for the indexed ones.  Available when the kernels TU
+// is built for an AVX2+FMA host (see TPA_KERNEL_NATIVE in CMakeLists.txt);
+// everything falls back to the portable unrolled loops otherwise.
+//
+// The gathers deliberately stay 256-bit: a 512-bit variant measured faster in
+// kernel-only microbenchmarks but slowed the surrounding scalar epoch code by
+// ~5% (zmm licence/transition effects), and ymm gathers avoid that entirely
+// while keeping the path usable on every AVX2 machine.
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define TPA_KERNELS_GATHER 1
+#else
+#define TPA_KERNELS_GATHER 0
+#endif
+
+namespace tpa::linalg {
+namespace {
+
+KernelBackend backend_from_env() {
+  const char* env = std::getenv("TPA_KERNELS");
+  if (env != nullptr &&
+      (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "ref") == 0)) {
+    return KernelBackend::kScalar;
+  }
+  return KernelBackend::kVectorized;
+}
+
+std::atomic<KernelBackend>& backend_slot() noexcept {
+  static std::atomic<KernelBackend> backend{backend_from_env()};
+  return backend;
+}
+
+#if TPA_KERNELS_GATHER
+// Deterministic pairwise sum of the four double lanes of an accumulator
+// vector — the fixed combine order the reduction contract promises.
+double reduce_lanes(__m256d acc) {
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+#endif
+
+}  // namespace
+
+KernelBackend kernel_backend() noexcept {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+void set_kernel_backend(KernelBackend backend) noexcept {
+  backend_slot().store(backend, std::memory_order_relaxed);
+}
+
+const char* kernel_backend_name(KernelBackend backend) noexcept {
+  return backend == KernelBackend::kScalar ? "scalar" : "vectorized";
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference: strict left-to-right single-accumulator loops, identical
+// to the original vector_ops.cpp bodies.
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = static_cast<float>(y[i] + alpha * x[i]);
+  }
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double sparse_dot(const SparseVectorView& a, std::span<const float> dense) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    acc += static_cast<double>(a.values[k]) *
+           static_cast<double>(dense[a.indices[k]]);
+  }
+  return acc;
+}
+
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const float> dense) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    const auto i = a.indices[k];
+    acc += static_cast<double>(a.values[k]) *
+           (static_cast<double>(target[i]) - static_cast<double>(dense[i]));
+  }
+  return acc;
+}
+
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<float> dense) {
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    const auto i = a.indices[k];
+    dense[i] = static_cast<float>(dense[i] + alpha * a.values[k]);
+  }
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Vectorized: multi-accumulator unrolled loops.  Reductions keep 4 (dense: 8)
+// independent double accumulators — the combine order is fixed (pairwise), so
+// results are deterministic, just not identical to left-to-right.
+// Element-wise kernels apply the exact scalar per-element expression.
+// ---------------------------------------------------------------------------
+
+namespace vec {
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
+  std::size_t i = 0;
+  for (const std::size_t n8 = n & ~std::size_t{7}; i < n8; i += 8) {
+    a0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    a1 += static_cast<double>(x[i + 1]) * static_cast<double>(y[i + 1]);
+    a2 += static_cast<double>(x[i + 2]) * static_cast<double>(y[i + 2]);
+    a3 += static_cast<double>(x[i + 3]) * static_cast<double>(y[i + 3]);
+    a4 += static_cast<double>(x[i + 4]) * static_cast<double>(y[i + 4]);
+    a5 += static_cast<double>(x[i + 5]) * static_cast<double>(y[i + 5]);
+    a6 += static_cast<double>(x[i + 6]) * static_cast<double>(y[i + 6]);
+    a7 += static_cast<double>(x[i + 7]) * static_cast<double>(y[i + 7]);
+  }
+  for (; i < n; ++i) {
+    a0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7));
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; i < n4; i += 4) {
+    a0 += x[i] * y[i];
+    a1 += x[i + 1] * y[i + 1];
+    a2 += x[i + 2] * y[i + 2];
+    a3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) a0 += x[i] * y[i];
+  return (a0 + a1) + (a2 + a3);
+}
+
+void axpy(double alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; i < n4; i += 4) {
+    y[i] = static_cast<float>(y[i] + alpha * x[i]);
+    y[i + 1] = static_cast<float>(y[i + 1] + alpha * x[i + 1]);
+    y[i + 2] = static_cast<float>(y[i + 2] + alpha * x[i + 2]);
+    y[i + 3] = static_cast<float>(y[i + 3] + alpha * x[i + 3]);
+  }
+  for (; i < n; ++i) y[i] = static_cast<float>(y[i] + alpha * x[i]);
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; i < n4; i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double sparse_dot(const SparseVectorView& a, std::span<const float> dense) {
+  const std::size_t n = a.nnz();
+  const sparse::Index* idx = a.indices.data();
+  const sparse::Value* val = a.values.data();
+#if TPA_KERNELS_GATHER
+  // Eight hardware-gathered lanes per step (one vgatherdps ymm), widened to
+  // two 4-lane double accumulators.  Duplicate indices (bucketed padding)
+  // are harmless for a gather; their values are 0 and contribute exact
+  // zeros.  fmadd is bit-identical to mul+add here — the product of two
+  // float-derived doubles is exact in double, so the fused single rounding
+  // equals the two-step result.  The combine order is fixed, so the result
+  // is deterministic.
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (const std::size_t n8 = n & ~std::size_t{7}; k < n8; k += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+    const __m256 gathered = _mm256_i32gather_ps(dense.data(), vidx, 4);
+    const __m256 vval = _mm256_loadu_ps(val + k);
+    acc_lo = _mm256_fmadd_pd(
+        _mm256_cvtps_pd(_mm256_castps256_ps128(vval)),
+        _mm256_cvtps_pd(_mm256_castps256_ps128(gathered)), acc_lo);
+    acc_hi = _mm256_fmadd_pd(
+        _mm256_cvtps_pd(_mm256_extractf128_ps(vval, 1)),
+        _mm256_cvtps_pd(_mm256_extractf128_ps(gathered, 1)), acc_hi);
+  }
+  double tail = 0.0;
+  for (; k < n; ++k) {
+    tail += static_cast<double>(val[k]) * static_cast<double>(dense[idx[k]]);
+  }
+  return (reduce_lanes(acc_lo) + reduce_lanes(acc_hi)) + tail;
+#else
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t k = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; k < n4; k += 4) {
+    a0 += static_cast<double>(val[k]) * static_cast<double>(dense[idx[k]]);
+    a1 += static_cast<double>(val[k + 1]) *
+          static_cast<double>(dense[idx[k + 1]]);
+    a2 += static_cast<double>(val[k + 2]) *
+          static_cast<double>(dense[idx[k + 2]]);
+    a3 += static_cast<double>(val[k + 3]) *
+          static_cast<double>(dense[idx[k + 3]]);
+  }
+  for (; k < n; ++k) {
+    a0 += static_cast<double>(val[k]) * static_cast<double>(dense[idx[k]]);
+  }
+  return (a0 + a1) + (a2 + a3);
+#endif
+}
+
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const float> dense) {
+  const std::size_t n = a.nnz();
+  const sparse::Index* idx = a.indices.data();
+  const sparse::Value* val = a.values.data();
+#if TPA_KERNELS_GATHER
+  // ⟨a, target − dense⟩: two 8-lane gathers per step, subtracted in double
+  // exactly as the scalar expression does.
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (const std::size_t n8 = n & ~std::size_t{7}; k < n8; k += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+    const __m256 t = _mm256_i32gather_ps(target.data(), vidx, 4);
+    const __m256 d = _mm256_i32gather_ps(dense.data(), vidx, 4);
+    const __m256 vval = _mm256_loadu_ps(val + k);
+    const __m256d diff_lo =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(t)),
+                      _mm256_cvtps_pd(_mm256_castps256_ps128(d)));
+    const __m256d diff_hi =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(t, 1)),
+                      _mm256_cvtps_pd(_mm256_extractf128_ps(d, 1)));
+    acc_lo = _mm256_fmadd_pd(
+        _mm256_cvtps_pd(_mm256_castps256_ps128(vval)), diff_lo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(
+        _mm256_cvtps_pd(_mm256_extractf128_ps(vval, 1)), diff_hi, acc_hi);
+  }
+  double tail = 0.0;
+  for (; k < n; ++k) {
+    const auto i = idx[k];
+    tail += static_cast<double>(val[k]) *
+            (static_cast<double>(target[i]) - static_cast<double>(dense[i]));
+  }
+  return (reduce_lanes(acc_lo) + reduce_lanes(acc_hi)) + tail;
+#else
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t k = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; k < n4; k += 4) {
+    const auto i0 = idx[k], i1 = idx[k + 1], i2 = idx[k + 2], i3 = idx[k + 3];
+    a0 += static_cast<double>(val[k]) *
+          (static_cast<double>(target[i0]) - static_cast<double>(dense[i0]));
+    a1 += static_cast<double>(val[k + 1]) *
+          (static_cast<double>(target[i1]) - static_cast<double>(dense[i1]));
+    a2 += static_cast<double>(val[k + 2]) *
+          (static_cast<double>(target[i2]) - static_cast<double>(dense[i2]));
+    a3 += static_cast<double>(val[k + 3]) *
+          (static_cast<double>(target[i3]) - static_cast<double>(dense[i3]));
+  }
+  for (; k < n; ++k) {
+    const auto i = idx[k];
+    a0 += static_cast<double>(val[k]) *
+          (static_cast<double>(target[i]) - static_cast<double>(dense[i]));
+  }
+  return (a0 + a1) + (a2 + a3);
+#endif
+}
+
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<float> dense) {
+  // Scatter stays an in-order read-modify-write per element: padded views
+  // from the bucketed layout repeat their last index (with value 0), so
+  // batching the four loads ahead of the stores would let a padded duplicate
+  // clobber the real update with a stale read.  Each element's expression is
+  // exactly the scalar reference's; the 4-way unroll only amortises loop
+  // control, and the hardware overlaps the independent iterations itself.
+  // The scatter stays an in-order read-modify-write per element, even on
+  // AVX-512: a gather-update-scatter batch was measured slower here than the
+  // plain RMW loop (hardware scatters cost ~an order of magnitude more than
+  // the stores they replace), and batching is anyway illegal when indices
+  // repeat — padded views from the bucketed layout repeat their last index
+  // (with value 0), so a duplicate's lane would scatter a stale read over
+  // the real update.  Each element's expression is exactly the scalar
+  // reference's; the 4-way unroll only amortises loop control, and the
+  // hardware overlaps the independent iterations itself.
+  const std::size_t n = a.nnz();
+  const sparse::Index* idx = a.indices.data();
+  const sparse::Value* val = a.values.data();
+  float* out = dense.data();
+  std::size_t k = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; k < n4; k += 4) {
+    const auto i0 = idx[k], i1 = idx[k + 1], i2 = idx[k + 2], i3 = idx[k + 3];
+    out[i0] = static_cast<float>(out[i0] + alpha * val[k]);
+    out[i1] = static_cast<float>(out[i1] + alpha * val[k + 1]);
+    out[i2] = static_cast<float>(out[i2] + alpha * val[k + 2]);
+    out[i3] = static_cast<float>(out[i3] + alpha * val[k + 3]);
+  }
+  for (; k < n; ++k) {
+    const auto i = idx[k];
+    out[i] = static_cast<float>(out[i] + alpha * val[k]);
+  }
+}
+
+}  // namespace vec
+
+}  // namespace tpa::linalg

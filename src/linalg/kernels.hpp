@@ -1,0 +1,79 @@
+// The kernel layer: two interchangeable implementations of every hot-loop
+// primitive, selected at runtime.
+//
+//   linalg::scalar — the original straight-line loops with one accumulator.
+//     This is the numerical *reference*: strict left-to-right accumulation,
+//     bit-identical to the pre-kernel-layer code.  It stays selectable so
+//     any result can be reproduced exactly and regressions can be bisected
+//     to "kernel" vs "algorithm".
+//
+//   linalg::vec — 4/8-way multi-accumulator versions of the same kernels.
+//     A single running sum serializes on the FP add latency (4-5 cycles on
+//     current x86); four independent double accumulators break that chain so
+//     the loop retires one fused load-convert-multiply-add per cycle and the
+//     compiler is free to turn the unrolled bodies into packed SIMD.
+//     Element-wise kernels (axpy, sparse_axpy) perform exactly the same
+//     per-element operations as the scalar reference — only reductions
+//     reassociate, so only reductions may differ, and then only in the last
+//     ULPs of the double accumulator (see DESIGN.md §9 for the tolerance
+//     contract).
+//
+// The public entry points in vector_ops.hpp dispatch on kernel_backend();
+// the default is kVectorized, overridable with TPA_KERNELS=scalar in the
+// environment or set_kernel_backend() in code.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace tpa::linalg {
+
+using sparse::SparseVectorView;
+
+enum class KernelBackend {
+  kScalar,      // reference single-accumulator loops
+  kVectorized,  // multi-accumulator / SIMD-friendly loops
+};
+
+/// Currently selected backend.  Initialised once from the TPA_KERNELS
+/// environment variable ("scalar" or "vectorized"/"vec"); defaults to
+/// kVectorized.
+KernelBackend kernel_backend() noexcept;
+
+/// Overrides the backend at runtime (tests, benchmarks, bisection).
+void set_kernel_backend(KernelBackend backend) noexcept;
+
+const char* kernel_backend_name(KernelBackend backend) noexcept;
+
+namespace scalar {
+
+double dot(std::span<const float> x, std::span<const float> y);
+double dot(std::span<const double> x, std::span<const double> y);
+void axpy(double alpha, std::span<const float> x, std::span<float> y);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+double sparse_dot(const SparseVectorView& a, std::span<const float> dense);
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const float> dense);
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<float> dense);
+
+}  // namespace scalar
+
+namespace vec {
+
+double dot(std::span<const float> x, std::span<const float> y);
+double dot(std::span<const double> x, std::span<const double> y);
+void axpy(double alpha, std::span<const float> x, std::span<float> y);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+double sparse_dot(const SparseVectorView& a, std::span<const float> dense);
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const float> dense);
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<float> dense);
+
+}  // namespace vec
+
+}  // namespace tpa::linalg

@@ -1,39 +1,46 @@
 #include "linalg/vector_ops.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace tpa::linalg {
+namespace {
+
+inline bool use_scalar() noexcept {
+  return kernel_backend() == KernelBackend::kScalar;
+}
+
+}  // namespace
 
 double dot(std::span<const float> x, std::span<const float> y) {
-  assert(x.size() == y.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
-  }
-  return acc;
+  return use_scalar() ? scalar::dot(x, y) : vec::dot(x, y);
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  return use_scalar() ? scalar::dot(x, y) : vec::dot(x, y);
 }
 
 double squared_norm(std::span<const float> x) { return dot(x, x); }
 double squared_norm(std::span<const double> x) { return dot(x, x); }
 
 void axpy(double alpha, std::span<const float> x, std::span<float> y) {
-  assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] = static_cast<float>(y[i] + alpha * x[i]);
+  if (use_scalar()) {
+    scalar::axpy(alpha, x, y);
+  } else {
+    vec::axpy(alpha, x, y);
   }
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  if (use_scalar()) {
+    scalar::axpy(alpha, x, y);
+  } else {
+    vec::axpy(alpha, x, y);
+  }
 }
 
 void scale(std::span<float> x, double alpha) {
@@ -41,31 +48,23 @@ void scale(std::span<float> x, double alpha) {
 }
 
 double sparse_dot(const SparseVectorView& a, std::span<const float> dense) {
-  double acc = 0.0;
-  for (std::size_t k = 0; k < a.nnz(); ++k) {
-    acc += static_cast<double>(a.values[k]) *
-           static_cast<double>(dense[a.indices[k]]);
-  }
-  return acc;
+  return use_scalar() ? scalar::sparse_dot(a, dense)
+                      : vec::sparse_dot(a, dense);
 }
 
 double sparse_residual_dot(const SparseVectorView& a,
                            std::span<const float> target,
                            std::span<const float> dense) {
-  double acc = 0.0;
-  for (std::size_t k = 0; k < a.nnz(); ++k) {
-    const auto i = a.indices[k];
-    acc += static_cast<double>(a.values[k]) *
-           (static_cast<double>(target[i]) - static_cast<double>(dense[i]));
-  }
-  return acc;
+  return use_scalar() ? scalar::sparse_residual_dot(a, target, dense)
+                      : vec::sparse_residual_dot(a, target, dense);
 }
 
 void sparse_axpy(double alpha, const SparseVectorView& a,
                  std::span<float> dense) {
-  for (std::size_t k = 0; k < a.nnz(); ++k) {
-    const auto i = a.indices[k];
-    dense[i] = static_cast<float>(dense[i] + alpha * a.values[k]);
+  if (use_scalar()) {
+    scalar::sparse_axpy(alpha, a, dense);
+  } else {
+    vec::sparse_axpy(alpha, a, dense);
   }
 }
 
@@ -90,22 +89,69 @@ double distance(std::span<const float> x, std::span<const float> y) {
 
 std::vector<float> csr_matvec(const sparse::CsrMatrix& a,
                               std::span<const float> x) {
-  assert(x.size() == a.cols());
   std::vector<float> y(a.rows(), 0.0F);
-  for (sparse::Index r = 0; r < a.rows(); ++r) {
-    y[r] = static_cast<float>(sparse_dot(a.row(r), x));
-  }
+  csr_matvec(a, x, y);
   return y;
 }
 
 std::vector<float> csr_matvec_transposed(const sparse::CsrMatrix& a,
                                          std::span<const float> x) {
-  assert(x.size() == a.rows());
   std::vector<float> y(a.cols(), 0.0F);
+  csr_matvec_transposed(a, x, y);
+  return y;
+}
+
+void csr_matvec(const sparse::CsrMatrix& a, std::span<const float> x,
+                std::span<float> y, util::ThreadPool* pool) {
+  assert(x.size() == a.cols());
+  if (y.size() != a.rows()) {
+    throw std::invalid_argument("csr_matvec: output span size != rows");
+  }
+  const auto run_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      y[r] = static_cast<float>(
+          sparse_dot(a.row(static_cast<sparse::Index>(r)), x));
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for_chunks(y.size(), run_rows);
+  } else {
+    run_rows(0, y.size());
+  }
+}
+
+void csr_matvec_transposed(const sparse::CsrMatrix& a,
+                           std::span<const float> x, std::span<float> y) {
+  assert(x.size() == a.rows());
+  if (y.size() != a.cols()) {
+    throw std::invalid_argument(
+        "csr_matvec_transposed: output span size != cols");
+  }
+  std::fill(y.begin(), y.end(), 0.0F);
   for (sparse::Index r = 0; r < a.rows(); ++r) {
     sparse_axpy(x[r], a.row(r), y);
   }
-  return y;
+}
+
+void csc_matvec_transposed(const sparse::CscMatrix& a,
+                           std::span<const float> x, std::span<float> y,
+                           util::ThreadPool* pool) {
+  assert(x.size() == a.rows());
+  if (y.size() != a.cols()) {
+    throw std::invalid_argument(
+        "csc_matvec_transposed: output span size != cols");
+  }
+  const auto run_cols = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      y[c] = static_cast<float>(
+          sparse_dot(a.col(static_cast<sparse::Index>(c)), x));
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for_chunks(y.size(), run_cols);
+  } else {
+    run_cols(0, y.size());
+  }
 }
 
 }  // namespace tpa::linalg

@@ -5,12 +5,22 @@
 // ⟨y − w, a⟩ and the scatter w += a·Δ (the paper's "update shared vector"
 // step).  Storage is float, accumulation is double, matching the paper's
 // 32-bit data with numerically-safe objective evaluation.
+//
+// Every entry point below dispatches to the kernel layer (kernels.hpp):
+// the multi-accumulator vectorized implementation by default, the original
+// scalar reference under TPA_KERNELS=scalar / set_kernel_backend().
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "linalg/kernels.hpp"
+#include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
+
+namespace tpa::util {
+class ThreadPool;
+}
 
 namespace tpa::linalg {
 
@@ -57,5 +67,23 @@ std::vector<float> csr_matvec(const sparse::CsrMatrix& a,
 /// y = Aᵀ·x for CSR A.
 std::vector<float> csr_matvec_transposed(const sparse::CsrMatrix& a,
                                          std::span<const float> x);
+
+/// In-place y = A·x into a caller-provided span (y.size() == a.rows()); no
+/// allocation.  Rows are independent, so a non-null `pool` splits them into
+/// contiguous chunks — results are identical to the serial path.
+void csr_matvec(const sparse::CsrMatrix& a, std::span<const float> x,
+                std::span<float> y, util::ThreadPool* pool = nullptr);
+
+/// In-place y = Aᵀ·x (y.size() == a.cols()).  The scatter form is inherently
+/// serial; prefer csc_matvec_transposed when a column-oriented copy exists.
+void csr_matvec_transposed(const sparse::CsrMatrix& a,
+                           std::span<const float> x, std::span<float> y);
+
+/// In-place y = Aᵀ·x using the CSC orientation: y[c] = ⟨col_c, x⟩.  Columns
+/// are independent, so a non-null `pool` parallelises race-free with results
+/// identical to the serial path.
+void csc_matvec_transposed(const sparse::CscMatrix& a,
+                           std::span<const float> x, std::span<float> y,
+                           util::ThreadPool* pool = nullptr);
 
 }  // namespace tpa::linalg

@@ -95,12 +95,20 @@ std::vector<float> score_matrix(util::ThreadPool& pool,
                                 const sparse::CsrMatrix& matrix,
                                 const ServableModel& model) {
   std::vector<float> out(static_cast<std::size_t>(matrix.rows()));
+  score_matrix(pool, matrix, model, out);
+  return out;
+}
+
+void score_matrix(util::ThreadPool& pool, const sparse::CsrMatrix& matrix,
+                  const ServableModel& model, std::span<float> out) {
+  if (out.size() != static_cast<std::size_t>(matrix.rows())) {
+    throw std::invalid_argument("score_matrix: output span size mismatch");
+  }
   pool.parallel_for_chunks(
       out.size(), [&](std::size_t begin, std::size_t end) {
         score_rows(matrix, static_cast<Index>(begin), static_cast<Index>(end),
-                   model.beta, std::span<float>(out).subspan(begin));
+                   model.beta, out.subspan(begin));
       });
-  return out;
 }
 
 }  // namespace tpa::serve

@@ -40,4 +40,10 @@ std::vector<float> score_matrix(util::ThreadPool& pool,
                                 const sparse::CsrMatrix& matrix,
                                 const ServableModel& model);
 
+/// In-place variant: writes into `out` (exactly matrix.rows() entries,
+/// throws std::invalid_argument otherwise).  Lets batch callers reuse one
+/// result buffer across requests instead of allocating per call.
+void score_matrix(util::ThreadPool& pool, const sparse::CsrMatrix& matrix,
+                  const ServableModel& model, std::span<float> out);
+
 }  // namespace tpa::serve

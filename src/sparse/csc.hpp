@@ -11,6 +11,10 @@
 #include "sparse/csr.hpp"
 #include "sparse/types.hpp"
 
+namespace tpa::util {
+class ThreadPool;
+}
+
 namespace tpa::sparse {
 
 class CscMatrix {
@@ -38,7 +42,9 @@ class CscMatrix {
   SparseVectorView col(Index c) const;
 
   /// Squared L2 norm of every column, accumulated in double:  ||a_m||².
-  std::vector<double> col_squared_norms() const;
+  /// Columns are independent; a non-null `pool` computes them in chunks
+  /// with identical results.
+  std::vector<double> col_squared_norms(util::ThreadPool* pool = nullptr) const;
 
   /// Dense value lookup (binary search within the column); 0 if absent.
   Value at(Index r, Index c) const;

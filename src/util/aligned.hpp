@@ -1,0 +1,60 @@
+// 64-byte-aligned storage for dense hot-path buffers.
+//
+// The vectorized kernels (kernels.hpp) are written so the compiler can emit
+// packed SIMD loads; cache-line alignment keeps those loads from straddling
+// lines and lets the bucketed coordinate layout guarantee that every
+// bucket's padded rows start on a fresh line.  AlignedVector is a drop-in
+// std::vector whose data() is 64-byte aligned.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace tpa::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    // operator new with alignment handles the size round-up itself.
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned backing storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace tpa::util

@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "linalg/kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "sparse/convert.hpp"
 #include "util/rng.hpp"
@@ -87,6 +90,145 @@ TEST(SparseOps, SparseAxpyScattersOnlyTouchedEntries) {
   EXPECT_FLOAT_EQ(dense[3], 0.0F);
 }
 
+// Scalar-vs-vectorized backend equivalence, per the DESIGN.md §9 contract:
+// element-wise kernels (axpy, sparse_axpy) are bit-identical because both
+// backends evaluate the same per-element expression; reductions may
+// reassociate, so they agree only to the last ULPs of the double
+// accumulator.  Sizes straddle the unroll widths (8/16) so main loops and
+// scalar tails are both exercised.
+class KernelEquivalence : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  // n * eps of the magnitude sum bounds the reassociation error; the 64x
+  // headroom keeps the bound meaningful rather than flaky.
+  static double reduction_tol(double abs_sum, std::size_t n) {
+    return 64.0 * static_cast<double>(n + 1) *
+           std::numeric_limits<double>::epsilon() * (abs_sum + 1.0);
+  }
+};
+
+TEST_P(KernelEquivalence, DenseKernelsMatchScalarReference) {
+  const std::size_t n = GetParam();
+  util::Rng rng(0xC0FFEE + n);
+  std::vector<float> xf(n);
+  std::vector<float> yf(n);
+  std::vector<double> xd(n);
+  std::vector<double> yd(n);
+  double abs_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    xf[i] = static_cast<float>(rng.normal());
+    yf[i] = static_cast<float>(rng.normal());
+    xd[i] = rng.normal();
+    yd[i] = rng.normal();
+    abs_sum += std::abs(static_cast<double>(xf[i]) * yf[i]);
+  }
+
+  EXPECT_NEAR(vec::dot(std::span<const float>(xf), yf),
+              scalar::dot(std::span<const float>(xf), yf),
+              reduction_tol(abs_sum, n));
+  EXPECT_NEAR(vec::dot(std::span<const double>(xd), yd),
+              scalar::dot(std::span<const double>(xd), yd),
+              reduction_tol(abs_sum, n));
+
+  // axpy is element-wise: exact equality, not tolerance.
+  std::vector<float> outf_scalar = yf;
+  std::vector<float> outf_vec = yf;
+  scalar::axpy(0.37, xf, outf_scalar);
+  vec::axpy(0.37, xf, outf_vec);
+  EXPECT_EQ(outf_scalar, outf_vec);
+
+  std::vector<double> outd_scalar = yd;
+  std::vector<double> outd_vec = yd;
+  scalar::axpy(-1.93, xd, outd_scalar);
+  vec::axpy(-1.93, xd, outd_vec);
+  EXPECT_EQ(outd_scalar, outd_vec);
+}
+
+TEST_P(KernelEquivalence, SparseKernelsMatchScalarReference) {
+  const std::size_t nnz = GetParam();
+  const std::size_t dim = 4 * nnz + 8;
+  util::Rng rng(0xBEEF + nnz);
+  std::vector<sparse::Index> idx(nnz);
+  std::vector<float> val(nnz);
+  std::vector<float> dense(dim);
+  std::vector<float> target(dim);
+  for (auto& v : dense) v = static_cast<float>(rng.normal());
+  for (auto& v : target) v = static_cast<float>(rng.normal());
+  sparse::Index at = 0;
+  double abs_sum = 0.0;
+  for (std::size_t k = 0; k < nnz; ++k) {
+    at += 1 + static_cast<sparse::Index>(rng.uniform() * 3.0);
+    idx[k] = at;
+    val[k] = static_cast<float>(rng.normal());
+    abs_sum += std::abs(static_cast<double>(val[k]));
+  }
+  const auto view = make_view(idx, val);
+
+  EXPECT_NEAR(vec::sparse_dot(view, dense), scalar::sparse_dot(view, dense),
+              reduction_tol(4.0 * abs_sum, nnz));
+  EXPECT_NEAR(vec::sparse_residual_dot(view, target, dense),
+              scalar::sparse_residual_dot(view, target, dense),
+              reduction_tol(8.0 * abs_sum, nnz));
+
+  // sparse_axpy scatters with the identical per-element expression in both
+  // backends: exact equality.
+  std::vector<float> dense_scalar = dense;
+  std::vector<float> dense_vec = dense;
+  scalar::sparse_axpy(0.61, view, dense_scalar);
+  vec::sparse_axpy(0.61, view, dense_vec);
+  EXPECT_EQ(dense_scalar, dense_vec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelEquivalence,
+                         ::testing::Values(0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u,
+                                           17u, 31u, 64u, 100u, 515u));
+
+// Bucketed padding repeats a coordinate's last index with value zero.  The
+// kernels must treat those entries as exact no-ops: zero contribution to the
+// reductions, a +-0.0 scatter into an already-touched slot.
+TEST(KernelBackends, PaddedDuplicateIndicesAreExactNoOps) {
+  const std::vector<sparse::Index> real_idx{1, 4, 9};
+  const std::vector<float> real_val{0.5F, -2.0F, 3.25F};
+  std::vector<sparse::Index> padded_idx = real_idx;
+  std::vector<float> padded_val = real_val;
+  while (padded_idx.size() % 8 != 0) {
+    padded_idx.push_back(real_idx.back());
+    padded_val.push_back(0.0F);
+  }
+  const auto real = make_view(real_idx, real_val);
+  const auto padded = make_view(padded_idx, padded_val);
+  std::vector<float> dense(12);
+  std::vector<float> target(12);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    dense[i] = 0.25F * static_cast<float>(i) - 1.0F;
+    target[i] = 1.5F - 0.125F * static_cast<float>(i);
+  }
+
+  for (const bool use_vec : {false, true}) {
+    const auto dot_fn = use_vec ? vec::sparse_dot : scalar::sparse_dot;
+    const auto res_fn =
+        use_vec ? vec::sparse_residual_dot : scalar::sparse_residual_dot;
+    EXPECT_EQ(dot_fn(padded, dense), dot_fn(real, dense));
+    EXPECT_EQ(res_fn(padded, target, dense), res_fn(real, target, dense));
+    std::vector<float> from_real = dense;
+    std::vector<float> from_padded = dense;
+    const auto axpy_fn = use_vec ? vec::sparse_axpy : scalar::sparse_axpy;
+    axpy_fn(-0.75, real, from_real);
+    axpy_fn(-0.75, padded, from_padded);
+    EXPECT_EQ(from_real, from_padded);
+  }
+}
+
+TEST(KernelBackends, EnvironmentDefaultAndOverride) {
+  const auto saved = kernel_backend();
+  set_kernel_backend(KernelBackend::kScalar);
+  EXPECT_EQ(kernel_backend(), KernelBackend::kScalar);
+  set_kernel_backend(KernelBackend::kVectorized);
+  EXPECT_EQ(kernel_backend(), KernelBackend::kVectorized);
+  set_kernel_backend(saved);
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kScalar), "scalar");
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kVectorized), "vectorized");
+}
+
 TEST(VectorOps, MaxAbsDiffAndDistance) {
   const std::vector<float> x{1.0F, 5.0F};
   const std::vector<float> y{2.0F, 2.0F};
@@ -131,6 +273,15 @@ TEST_P(MatvecSweep, MatvecMatchesDenseReference) {
     }
     EXPECT_NEAR(yt[c], expected, 1e-4);
   }
+
+  // The in-place overloads must reproduce the allocating ones exactly —
+  // they are the same loops writing into a caller-provided span.
+  std::vector<float> y_inplace(9, -7.0F);
+  csr_matvec(csr, x, y_inplace);
+  EXPECT_EQ(y_inplace, y);
+  std::vector<float> yt_inplace(14, -7.0F);
+  csr_matvec_transposed(csr, z, yt_inplace);
+  EXPECT_EQ(yt_inplace, yt);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatvecSweep,

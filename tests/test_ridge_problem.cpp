@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/ridge_problem.hpp"
 #include "core/seq_scd.hpp"
 #include "data/generators.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tpa::core {
 namespace {
@@ -227,6 +229,80 @@ TEST(RidgeProblem, EffectiveExamplesOverridesN) {
       plain.coordinate_delta(Formulation::kDual, 0, wbar, 0.0);
   EXPECT_NE(d_local, d_plain);
   EXPECT_LT(std::abs(d_local), std::abs(d_plain));
+}
+
+// Pool-parallel objectives and gaps: the pooled evaluation chunks the same
+// sums (and, for the primal gap, walks the column orientation), so values
+// agree with the serial evaluation to reduction tolerance — and the chunked
+// combine order is fixed, so results are thread-count independent.
+TEST(RidgeProblemPooled, ObjectivesAndGapsMatchSerial) {
+  data::WebspamLikeConfig config;
+  config.num_examples = 1024;
+  config.num_features = 2048;
+  const auto dataset = data::make_webspam_like(config);
+  const RidgeProblem problem(dataset, 1e-3);
+
+  // A non-trivial iterate: a few SCD epochs away from the optimum.
+  SeqScdSolver dual_solver(problem, Formulation::kDual, 11);
+  for (int epoch = 0; epoch < 3; ++epoch) dual_solver.run_epoch();
+  const auto& alpha = dual_solver.state().weights;
+  const auto& wbar = dual_solver.state().shared;
+  const auto beta = problem.primal_from_dual_shared(wbar);
+  const auto w = linalg::csr_matvec(dataset.by_row(), beta);
+
+  util::ThreadPool pool2(2);
+  util::ThreadPool pool4(4);
+  const auto tol = [](double x) { return 1e-9 * (1.0 + std::abs(x)); };
+
+  const double primal = problem.primal_objective(beta, w);
+  const double dual = problem.dual_objective(alpha, wbar);
+  const double gp = problem.primal_duality_gap(beta, w);
+  const double gd = problem.dual_duality_gap(alpha, wbar);
+  // A gap is a cancelling difference of two objectives, so its absolute
+  // error scales with the objectives' magnitude, not its own.
+  const double gap_tol = 1e-7 * (1.0 + std::abs(primal) + std::abs(dual));
+
+  for (util::ThreadPool* pool : {&pool2, &pool4}) {
+    EXPECT_NEAR(problem.primal_objective(beta, w, pool), primal, tol(primal));
+    EXPECT_NEAR(problem.dual_objective(alpha, wbar, pool), dual, tol(dual));
+    EXPECT_NEAR(problem.primal_duality_gap(beta, w, pool), gp, gap_tol);
+    EXPECT_NEAR(problem.dual_duality_gap(alpha, wbar, pool), gd, gap_tol);
+  }
+
+  // Thread-count independence: 2- and 4-worker pools chunk identically, so
+  // the pooled values are bit-identical to each other.
+  EXPECT_EQ(problem.primal_duality_gap(beta, w, &pool2),
+            problem.primal_duality_gap(beta, w, &pool4));
+  EXPECT_EQ(problem.dual_duality_gap(alpha, wbar, &pool2),
+            problem.dual_duality_gap(alpha, wbar, &pool4));
+
+  // The formulation dispatcher forwards the pool.
+  EXPECT_EQ(problem.duality_gap(Formulation::kDual, alpha, wbar, &pool4),
+            problem.dual_duality_gap(alpha, wbar, &pool4));
+}
+
+// Padded and unpadded coordinate views describe the same coordinate: the
+// padding tail repeats the last index with value zero.
+TEST(RidgeProblem, CoordinateVectorPaddedVsUnpadded) {
+  const auto dataset = tiny_dataset();
+  const RidgeProblem problem(dataset, 0.1);
+  for (const auto f : {Formulation::kPrimal, Formulation::kDual}) {
+    for (Index j = 0; j < problem.num_coordinates(f); ++j) {
+      const auto padded = problem.coordinate_vector(f, j);
+      const auto exact = problem.coordinate_vector_unpadded(f, j);
+      ASSERT_GE(padded.nnz(), exact.nnz());
+      if (exact.nnz() > 0) EXPECT_EQ(padded.nnz() % 8, 0u);
+      for (std::size_t k = 0; k < padded.nnz(); ++k) {
+        if (k < exact.nnz()) {
+          EXPECT_EQ(padded.indices[k], exact.indices[k]);
+          EXPECT_EQ(padded.values[k], exact.values[k]);
+        } else {
+          EXPECT_EQ(padded.indices[k], exact.indices[exact.nnz() - 1]);
+          EXPECT_EQ(padded.values[k], 0.0F);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

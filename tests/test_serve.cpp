@@ -123,6 +123,29 @@ TEST(Scorer, ScoreMatrixMatchesPredict) {
   }
 }
 
+// The in-place overload is the allocation-free hot path the batcher reuses a
+// buffer with; it must reproduce the allocating version exactly and reject
+// missized output buffers.
+TEST(Scorer, ScoreMatrixInPlaceMatchesAllocating) {
+  data::WebspamLikeConfig config;
+  config.num_examples = 300;
+  config.num_features = 128;
+  const auto dataset = data::make_webspam_like(config);
+  std::vector<float> beta(static_cast<std::size_t>(dataset.num_features()),
+                          0.125F);
+  const auto model = ServableModel::from_saved(primal_model(beta), 1);
+  util::ThreadPool pool(4);
+  const auto allocated = score_matrix(pool, dataset.by_row(), model);
+  std::vector<float> out(static_cast<std::size_t>(dataset.num_examples()),
+                         -1.0F);
+  score_matrix(pool, dataset.by_row(), model, out);
+  EXPECT_EQ(out, allocated);
+
+  std::vector<float> wrong_size(allocated.size() + 1);
+  EXPECT_THROW(score_matrix(pool, dataset.by_row(), model, wrong_size),
+               std::invalid_argument);
+}
+
 TEST(LatencyHistogramTest, QuantilesAreMonotoneBucketEdges) {
   LatencyHistogram histogram;
   for (int i = 0; i < 90; ++i) histogram.record(10e-6);   // [8, 16) µs bucket

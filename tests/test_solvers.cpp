@@ -169,6 +169,62 @@ class SolverConvergenceSweep
     : public ::testing::TestWithParam<std::tuple<Formulation, SolverKind>> {
 };
 
+// gap_every amortises the per-evaluation matrix pass: the trace holds only
+// the evaluated epochs, but the final epoch is always evaluated, so the
+// final gap of a subsampled run equals the every-epoch run exactly (the
+// training trajectory never depends on when the gap is measured).
+TEST(Convergence, GapEverySubsamplesTraceButFinalGapMatches) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+
+  SeqScdSolver every(problem, Formulation::kDual, 7);
+  RunOptions every_options;
+  every_options.max_epochs = 12;
+  const auto every_trace = run_solver(every, problem, every_options);
+  ASSERT_EQ(every_trace.points().size(), 12u);
+
+  SeqScdSolver sub(problem, Formulation::kDual, 7);
+  RunOptions sub_options;
+  sub_options.max_epochs = 12;
+  sub_options.gap_every = 5;
+  EXPECT_EQ(effective_gap_interval(sub_options), 5);
+  const auto sub_trace = run_solver(sub, problem, sub_options);
+
+  // Evaluated epochs: 5, 10 and the always-evaluated final epoch 12.
+  ASSERT_EQ(sub_trace.points().size(), 3u);
+  EXPECT_EQ(sub_trace.points()[0].epoch, 5);
+  EXPECT_EQ(sub_trace.points()[1].epoch, 10);
+  EXPECT_EQ(sub_trace.points()[2].epoch, 12);
+  EXPECT_DOUBLE_EQ(sub_trace.final_gap(), every_trace.final_gap());
+
+  // Intermediate evaluations agree with the every-epoch trace too.
+  EXPECT_DOUBLE_EQ(sub_trace.points()[0].gap, every_trace.points()[4].gap);
+  EXPECT_DOUBLE_EQ(sub_trace.points()[1].gap, every_trace.points()[9].gap);
+}
+
+// Pooled gap evaluation (gap_threads > 1) changes only how the gap sum is
+// chunked, never the training trajectory; values stay within the DESIGN.md
+// §9 reduction tolerance of the serial evaluation.
+TEST(Convergence, GapThreadsMatchesSerialEvaluation) {
+  const RidgeProblem problem(webspam_small(), 1e-3);
+
+  SeqScdSolver serial(problem, Formulation::kDual, 7);
+  RunOptions serial_options;
+  serial_options.max_epochs = 6;
+  const auto serial_trace = run_solver(serial, problem, serial_options);
+
+  SeqScdSolver pooled(problem, Formulation::kDual, 7);
+  RunOptions pooled_options;
+  pooled_options.max_epochs = 6;
+  pooled_options.gap_threads = 4;
+  const auto pooled_trace = run_solver(pooled, problem, pooled_options);
+
+  ASSERT_EQ(pooled_trace.points().size(), serial_trace.points().size());
+  for (std::size_t i = 0; i < serial_trace.points().size(); ++i) {
+    EXPECT_NEAR(pooled_trace.points()[i].gap, serial_trace.points()[i].gap,
+                1e-9 * (1.0 + std::abs(serial_trace.points()[i].gap)));
+  }
+}
+
 TEST_P(SolverConvergenceSweep, ReachesSmallGap) {
   const auto [formulation, kind] = GetParam();
   const RidgeProblem problem(webspam_small(), 1e-3);

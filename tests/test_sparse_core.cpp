@@ -1,12 +1,16 @@
 // COO builder, CSR and CSC construction/validation/access.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
+#include "sparse/bucketed.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
+#include "util/rng.hpp"
 
 namespace tpa::sparse {
 namespace {
@@ -183,6 +187,131 @@ TEST(CscMatrix, RejectsUnsortedRowsWithinColumn) {
 
 TEST(CscMatrix, RejectsRowOutOfRange) {
   EXPECT_THROW(CscMatrix(2, 1, {0, 1}, {5}, {1.0F}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Bucketed coordinate layout: padded/unpadded round trips against the source
+// matrix, nnz-class invariants, and the 64-byte alignment of bucket starts.
+
+CsrMatrix ragged_csr() {
+  // Row nnz spans several classes: 0 (empty), 1..8 (class 8), 9..16
+  // (class 16), and 17+ (class 32), so multiple buckets form.
+  util::Rng rng(99);
+  CooBuilder coo(40, 64);
+  const std::size_t row_nnz[] = {0, 1, 3, 8, 9, 12, 16, 17, 25, 31};
+  for (Index r = 0; r < 40; ++r) {
+    const std::size_t nnz = row_nnz[r % 10];
+    Index c = static_cast<Index>(r % 3);
+    for (std::size_t k = 0; k < nnz; ++k) {
+      coo.add(r, c, static_cast<float>(rng.normal()));
+      c += 1 + static_cast<Index>(rng.uniform() * 2.0);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+TEST(BucketedLayout, UnpaddedRoundTripsSourceRows) {
+  const auto csr = ragged_csr();
+  const auto layout = BucketedLayout::from_rows(csr);
+  ASSERT_EQ(layout.count(), csr.rows());
+  EXPECT_EQ(layout.dim(), csr.cols());
+  for (Index r = 0; r < csr.rows(); ++r) {
+    const auto source = csr.row(r);
+    const auto view = layout.unpadded(r);
+    ASSERT_EQ(view.nnz(), source.nnz()) << "row " << r;
+    for (std::size_t k = 0; k < source.nnz(); ++k) {
+      EXPECT_EQ(view.indices[k], source.indices[k]);
+      EXPECT_EQ(view.values[k], source.values[k]);
+    }
+  }
+}
+
+TEST(BucketedLayout, PaddedViewsRepeatLastIndexWithZeroValue) {
+  const auto csr = ragged_csr();
+  const auto layout = BucketedLayout::from_rows(csr);
+  std::size_t padded_total = 0;
+  for (Index r = 0; r < csr.rows(); ++r) {
+    const auto source = csr.row(r);
+    const auto padded = layout.padded(r);
+    EXPECT_EQ(layout.nnz_of(r), source.nnz());
+    EXPECT_EQ(padded.nnz(), layout.width_of(r));
+    padded_total += padded.nnz();
+    if (source.nnz() == 0) {
+      EXPECT_EQ(layout.width_of(r), 0u) << "empty rows stay empty";
+      continue;
+    }
+    EXPECT_EQ(layout.width_of(r) % 8, 0u);
+    EXPECT_GE(layout.width_of(r), source.nnz());
+    EXPECT_LT(layout.width_of(r), source.nnz() + 8);
+    for (std::size_t k = 0; k < padded.nnz(); ++k) {
+      if (k < source.nnz()) {
+        EXPECT_EQ(padded.indices[k], source.indices[k]);
+        EXPECT_EQ(padded.values[k], source.values[k]);
+      } else {
+        EXPECT_EQ(padded.indices[k], source.indices[source.nnz() - 1]);
+        EXPECT_EQ(padded.values[k], 0.0F);
+      }
+    }
+  }
+  EXPECT_EQ(layout.padded_nnz(), padded_total);
+  EXPECT_GE(layout.padded_nnz(), csr.nnz());
+}
+
+TEST(BucketedLayout, BucketsPartitionCoordinatesByNnzClass) {
+  const auto csr = ragged_csr();
+  const auto layout = BucketedLayout::from_rows(csr);
+  ASSERT_GE(layout.num_buckets(), 3);
+  std::vector<bool> seen(static_cast<std::size_t>(layout.count()), false);
+  std::size_t prev_class = 0;
+  for (int b = 0; b < layout.num_buckets(); ++b) {
+    const std::size_t cls = layout.bucket_class(b);
+    EXPECT_GE(cls, 8u);
+    EXPECT_EQ(cls & (cls - 1), 0u) << "classes are powers of two";
+    EXPECT_GT(cls, prev_class) << "buckets ordered by ascending class";
+    prev_class = cls;
+    for (const Index j : layout.bucket_coords(b)) {
+      EXPECT_FALSE(seen[j]) << "coordinate in two buckets";
+      seen[j] = true;
+      const std::size_t nnz = layout.nnz_of(j);
+      EXPECT_LE(nnz, cls);
+      EXPECT_TRUE(cls == 8 || nnz > cls / 2)
+          << "row " << j << " nnz " << nnz << " in class " << cls;
+    }
+  }
+  // Every coordinate lives in exactly one bucket (empty coordinates join
+  // the minimum class with width 0, keeping the id space total).
+  for (Index j = 0; j < layout.count(); ++j) {
+    EXPECT_TRUE(seen[j]) << "row " << j;
+  }
+}
+
+TEST(BucketedLayout, BucketStartsAre64ByteAligned) {
+  const auto csr = ragged_csr();
+  const auto layout = BucketedLayout::from_rows(csr);
+  for (int b = 0; b < layout.num_buckets(); ++b) {
+    const auto coords = layout.bucket_coords(b);
+    ASSERT_FALSE(coords.empty());
+    const auto first = layout.padded(coords.front());
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(first.indices.data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(first.values.data()) % 64, 0u);
+  }
+}
+
+TEST(BucketedLayout, FromColsMatchesCscColumns) {
+  const auto csr = ragged_csr();
+  const auto csc = csr_to_csc(csr);
+  const auto layout = BucketedLayout::from_cols(csc);
+  ASSERT_EQ(layout.count(), csc.cols());
+  EXPECT_EQ(layout.dim(), csc.rows());
+  for (Index c = 0; c < csc.cols(); ++c) {
+    const auto source = csc.col(c);
+    const auto view = layout.unpadded(c);
+    ASSERT_EQ(view.nnz(), source.nnz()) << "col " << c;
+    for (std::size_t k = 0; k < source.nnz(); ++k) {
+      EXPECT_EQ(view.indices[k], source.indices[k]);
+      EXPECT_EQ(view.values[k], source.values[k]);
+    }
+  }
 }
 
 }  // namespace

@@ -91,6 +91,13 @@ int main(int argc, char** argv) {
   parser.add_option("epochs", "maximum epochs", "100");
   parser.add_option("target-gap", "stop at this duality gap", "1e-6");
   parser.add_option("threads", "threads for CPU async solvers", "16");
+  parser.add_option("gap-every",
+                    "evaluate the duality gap every N epochs (amortises the "
+                    "per-check matrix pass)",
+                    "1");
+  parser.add_option("gap-threads",
+                    "threads for each duality-gap evaluation (1 = serial)",
+                    "1");
   parser.add_option("workers", "distribute across this many workers", "1");
   parser.add_flag("adaptive", "use adaptive aggregation (Algorithm 4)");
   parser.add_option("save", "write the trained model here");
@@ -164,6 +171,9 @@ int main(int argc, char** argv) {
     run_options.max_epochs = static_cast<int>(parser.get_int("epochs", 100));
     run_options.target_gap = parser.get_double("target-gap", 1e-6);
     run_options.record_interval = 1;
+    run_options.gap_every = static_cast<int>(parser.get_int("gap-every", 1));
+    run_options.gap_threads =
+        static_cast<int>(parser.get_int("gap-threads", 1));
 
     const int workers = static_cast<int>(parser.get_int("workers", 1));
     core::SavedModel model;
