@@ -25,9 +25,20 @@ void append_escaped(std::string& out, const std::string& s) {
 }  // namespace
 
 std::string to_json(const std::string& suite,
-                    std::span<const BenchResult> results) {
+                    std::span<const BenchResult> results,
+                    const BenchMeta& meta) {
   std::string out = "{\n  \"suite\": ";
   append_escaped(out, suite);
+  if (!meta.empty()) {
+    out += ",\n  \"meta\": {";
+    for (std::size_t i = 0; i < meta.size(); ++i) {
+      out += i == 0 ? "" : ", ";
+      append_escaped(out, meta[i].first);
+      out += ": ";
+      append_escaped(out, meta[i].second);
+    }
+    out += "}";
+  }
   out += ",\n  \"results\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -49,12 +60,13 @@ std::string to_json(const std::string& suite,
 }
 
 void write_json_file(const std::string& path, const std::string& suite,
-                     std::span<const BenchResult> results) {
+                     std::span<const BenchResult> results,
+                     const BenchMeta& meta) {
   std::ofstream file(path, std::ios::binary);
   if (!file) {
     throw std::runtime_error("bench_json: cannot open " + path);
   }
-  file << to_json(suite, results);
+  file << to_json(suite, results, meta);
   if (!file) {
     throw std::runtime_error("bench_json: write failed for " + path);
   }

@@ -20,13 +20,21 @@ struct BenchResult {
   std::vector<std::pair<std::string, double>> extra;
 };
 
-/// Serialises `results` as {"suite": ..., "results": [...]}.  Doubles are
-/// printed with enough digits to round-trip.
+/// String-valued metadata emitted alongside the results (build provenance:
+/// git SHA, compiler, kernel backend, ...), so a committed artefact is
+/// attributable to the configuration that produced it.
+using BenchMeta = std::vector<std::pair<std::string, std::string>>;
+
+/// Serialises `results` as {"suite": ..., "meta": {...}, "results": [...]}.
+/// Doubles are printed with enough digits to round-trip; the "meta" object
+/// is omitted when `meta` is empty.
 std::string to_json(const std::string& suite,
-                    std::span<const BenchResult> results);
+                    std::span<const BenchResult> results,
+                    const BenchMeta& meta = {});
 
 /// Writes to_json(...) to `path`; throws std::runtime_error on I/O failure.
 void write_json_file(const std::string& path, const std::string& suite,
-                     std::span<const BenchResult> results);
+                     std::span<const BenchResult> results,
+                     const BenchMeta& meta = {});
 
 }  // namespace tpa::bench

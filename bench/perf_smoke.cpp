@@ -17,6 +17,7 @@
 
 #include "bench_json.hpp"
 #include "core/convergence.hpp"
+#include "obs/build_info.hpp"
 #include "core/ridge_problem.hpp"
 #include "core/seq_scd.hpp"
 #include "core/threaded_scd.hpp"
@@ -107,6 +108,17 @@ int run(int argc, char** argv) {
   if (!parser.parse(argc, argv)) return 1;
 
   const auto out_dir = parser.get_string("out-dir", ".");
+  // Build provenance for the committed artefacts: a BENCH_*.json number is
+  // only comparable to another taken on the same backend/ISA configuration.
+  const auto info = obs::build_info();
+  const bench::BenchMeta meta = {
+      {"git_sha", info.git_sha},
+      {"compiler", info.compiler},
+      {"build_type", info.build_type},
+      {"kernel_backend",
+       linalg::kernel_backend_name(linalg::kernel_backend())},
+      {"kernel_native", linalg::kernel_native_build() ? "true" : "false"},
+  };
   const int trials = static_cast<int>(parser.get_int("trials", 5));
   const int threads = static_cast<int>(parser.get_int("threads", 4));
   const double slack = parser.get_double("slack", 1.15);
@@ -181,7 +193,8 @@ int run(int argc, char** argv) {
     add_kernel_result(kernels, "dense_axpy", axpy);
   }
 
-  bench::write_json_file(out_dir + "/BENCH_kernels.json", "kernels", kernels);
+  bench::write_json_file(out_dir + "/BENCH_kernels.json", "kernels", kernels,
+                         meta);
 
   // ---- epoch suite --------------------------------------------------------
   std::vector<bench::BenchResult> epochs;
@@ -258,7 +271,8 @@ int run(int argc, char** argv) {
                 every_s / amortised_s);
   }
 
-  bench::write_json_file(out_dir + "/BENCH_epoch.json", "epoch", epochs);
+  bench::write_json_file(out_dir + "/BENCH_epoch.json", "epoch", epochs,
+                         meta);
   std::printf("wrote %s/BENCH_kernels.json and %s/BENCH_epoch.json\n",
               out_dir.c_str(), out_dir.c_str());
 

@@ -8,12 +8,23 @@
 #include <string>
 
 #include "gpusim/device.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "sparse/io_binary.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace tpa::cluster {
 namespace {
+
+// Virtual trace tracks: the simulation runs on one OS thread, but the
+// exported timeline should still read as a cluster — one track for the
+// master's reduce/broadcast phases and one per simulated worker.
+constexpr std::int32_t kMasterTrack = 1000;
+
+constexpr std::int32_t worker_track(int worker) {
+  return worker < 0 ? kMasterTrack : kMasterTrack + 1 + worker;
+}
 
 bool is_gpu_kind(core::SolverKind kind) {
   return kind == core::SolverKind::kTpaM4000 ||
@@ -111,6 +122,11 @@ DistributedSolver::DistributedSolver(const data::Dataset& global,
     worker->solver = core::make_solver(*worker->problem, local);
     workers_.push_back(std::move(worker));
   }
+
+  obs::set_track_name(kMasterTrack, "dist/master");
+  for (int k = 0; k < config.num_workers; ++k) {
+    obs::set_track_name(worker_track(k), "dist/worker " + std::to_string(k));
+  }
 }
 
 void DistributedSolver::record_event(int worker,
@@ -120,6 +136,16 @@ void DistributedSolver::record_event(int worker,
   event.worker = worker;
   event.kind = kind;
   events_.push_back(event);
+  // Every trace-level cluster event also lands as (a) a counter, so the
+  // --metrics-out report's cluster.event.* values match
+  // ConvergenceTrace::count_events exactly, and (b) a trace instant on the
+  // affected worker's track, so crashes and restarts are visible between the
+  // solve spans of a fault-drill timeline.
+  obs::metrics()
+      .counter(std::string("cluster.event.") + core::cluster_event_name(kind))
+      .add();
+  obs::trace_instant(core::cluster_event_name(kind), worker_track(worker),
+                     epoch_);
 }
 
 void DistributedSolver::handle_crash(Worker& worker, int index) {
@@ -141,6 +167,8 @@ void DistributedSolver::handle_crash(Worker& worker, int index) {
 core::EpochReport DistributedSolver::run_epoch() {
   const util::WallTimer timer;
   ++epoch_;
+  obs::TraceSpan epoch_span("dist/epoch", kMasterTrack, epoch_);
+  obs::metrics().counter("cluster.epochs").add();
   const auto f = config_.formulation;
   const auto n = static_cast<double>(global_problem_.num_examples());
   const double lambda = config_.lambda;
@@ -199,6 +227,8 @@ core::EpochReport DistributedSolver::run_epoch() {
 
     // Broadcast: the worker starts its epoch from the master's shared
     // vector (its local copy then diverges as it applies local updates).
+    obs::TraceSpan solve_span("dist/local_solve", worker_track(index),
+                              epoch_);
     auto& state = worker.solver->mutable_state();
     state.shared.assign(shared_.begin(), shared_.end());
     worker.weights_start = state.weights;
@@ -211,9 +241,14 @@ core::EpochReport DistributedSolver::run_epoch() {
     updates += state.weights.size();
   }
 
+  // Phases 2–4 compute values consumed across phase boundaries, so their
+  // spans use explicit begin timestamps instead of nested RAII scopes.
+  const bool tracing = obs::trace_enabled();
+
   // ---- Phase 2: the straggler deadline, from the timing breakdown: the
   // master waits grace x (slowest healthy compute + network round) before
   // aggregating without the laggards.
+  const double wait_begin_us = tracing ? obs::trace_now_us() : 0.0;
   const std::size_t shared_bytes =
       static_cast<std::size_t>(global_workload_.shared_dim) * sizeof(float);
   const double net_round =
@@ -231,8 +266,14 @@ core::EpochReport DistributedSolver::run_epoch() {
   if (healthy_max == 0.0) healthy_max = runner_max;  // every runner stalled
   last_deadline_seconds_ =
       config_.straggler_grace * (healthy_max + net_round);
+  if (tracing) {
+    obs::trace_complete("dist/straggler_wait", wait_begin_us,
+                        obs::trace_now_us() - wait_begin_us, kMasterTrack,
+                        epoch_);
+  }
 
   // ---- Phase 3: transit outcomes for this round's runners.
+  const double reduce_begin_us = tracing ? obs::trace_now_us() : 0.0;
   double compute_max = 0.0;  // slowest delta that the master waited for
   bool any_deadline_miss = false;
   for (std::size_t k = 0; k < num_workers; ++k) {
@@ -354,6 +395,11 @@ core::EpochReport DistributedSolver::run_epoch() {
     }
   }
   last_contributors_ = contributors;
+  if (tracing) {
+    obs::trace_complete("dist/reduce", reduce_begin_us,
+                        obs::trace_now_us() - reduce_begin_us, kMasterTrack,
+                        contributors);
+  }
 
   // ---- Master-side terms and the aggregation parameter, rescaled to the
   // workers that actually delivered (degraded-mode aggregation).
@@ -400,7 +446,9 @@ core::EpochReport DistributedSolver::run_epoch() {
   // ---- Apply the scaled update on the master and rescale the contributing
   // workers' weight updates by the same γ so shared == A·weights stays
   // exact.  Excluded workers were rolled back to their epoch start, so they
-  // contribute (exactly) nothing to either side.
+  // contribute (exactly) nothing to either side.  This is the broadcast leg:
+  // the γ-scaled model every worker starts from next round.
+  const double bcast_begin_us = tracing ? obs::trace_now_us() : 0.0;
   if (contributors > 0) {
     for (std::size_t i = 0; i < shared_.size(); ++i) {
       shared_[i] =
@@ -429,6 +477,12 @@ core::EpochReport DistributedSolver::run_epoch() {
                      core::ClusterEventKind::kLateDelta);
       }
     }
+  }
+
+  if (tracing) {
+    obs::trace_complete("dist/broadcast", bcast_begin_us,
+                        obs::trace_now_us() - bcast_begin_us, kMasterTrack,
+                        epoch_);
   }
 
   // ---- Simulated time accounting (paper-scale dimensions). ----
@@ -569,6 +623,24 @@ void DistributedSolver::restore(const core::SavedModel& saved) {
   epoch_ = static_cast<int>(saved.epoch);
 }
 
+namespace {
+
+// Master-side checkpoint: one span for the model write, plus the same
+// counter + instant pairing record_event gives worker events, so the
+// metrics report's cluster.event.checkpoint matches the trace's
+// kCheckpoint count.
+void write_checkpoint(const CheckpointConfig& ckpt,
+                      const DistributedSolver& solver, int epoch,
+                      core::ConvergenceTrace& trace) {
+  obs::TraceSpan span("train/checkpoint", kMasterTrack, epoch);
+  core::write_model_file(ckpt.path, solver.checkpoint());
+  trace.add_event({epoch, -1, core::ClusterEventKind::kCheckpoint});
+  obs::metrics().counter("cluster.event.checkpoint").add();
+  obs::trace_instant("checkpoint", kMasterTrack, epoch);
+}
+
+}  // namespace
+
 core::ConvergenceTrace run_distributed(DistributedSolver& solver,
                                        const core::RunOptions& options,
                                        const CheckpointConfig& ckpt) {
@@ -594,14 +666,17 @@ core::ConvergenceTrace run_distributed(DistributedSolver& solver,
       trace.add_event(events[seen_events]);
     }
     if (ckpt.enabled() && epoch % ckpt.every_epochs == 0) {
-      core::write_model_file(ckpt.path, solver.checkpoint());
-      trace.add_event({epoch, -1, core::ClusterEventKind::kCheckpoint});
+      write_checkpoint(ckpt, solver, epoch, trace);
       last_checkpointed = epoch;
     }
     if (epoch % interval == 0 || epoch == options.max_epochs) {
       core::TracePoint point;
       point.epoch = epoch;
-      point.gap = solver.duality_gap(gap_pool.get());
+      {
+        obs::TraceSpan span("train/gap_eval", kMasterTrack, epoch);
+        point.gap = solver.duality_gap(gap_pool.get());
+      }
+      obs::metrics().counter("train.gap_evals").add();
       point.sim_seconds = sim_total;
       point.wall_seconds = wall_total;
       point.gamma = solver.last_gamma();
@@ -613,9 +688,7 @@ core::ConvergenceTrace run_distributed(DistributedSolver& solver,
   // A final checkpoint so a later --resume continues from exactly where
   // this run stopped (early target-gap exit included).
   if (ckpt.enabled() && solver.current_epoch() > last_checkpointed) {
-    core::write_model_file(ckpt.path, solver.checkpoint());
-    trace.add_event(
-        {solver.current_epoch(), -1, core::ClusterEventKind::kCheckpoint});
+    write_checkpoint(ckpt, solver, solver.current_epoch(), trace);
   }
   return trace;
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace tpa::core {
@@ -28,20 +29,26 @@ AsyncScdSolver::AsyncScdSolver(const RidgeProblem& problem, Formulation f,
 
 EpochReport AsyncScdSolver::run_epoch() {
   const util::WallTimer timer;
-  const auto order = permutation_.next();
-  const auto stats = engine_.run_epoch(
-      order,
-      [this](sparse::Index j, std::span<const float> shared) {
-        return problem_->coordinate_delta(formulation_, j, shared,
-                                          state_.weights[j]);
-      },
-      [this](sparse::Index j) {
-        return problem_->coordinate_vector(formulation_, j);
-      },
-      [this](sparse::Index j, double delta) {
-        state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
-      },
-      state_.shared);
+  const auto order = [this] {
+    obs::TraceSpan shuffle("async_scd/shuffle");
+    return permutation_.next();
+  }();
+  const auto stats = [&] {
+    obs::TraceSpan sweep("async_scd/sweep");
+    return engine_.run_epoch(
+        order,
+        [this](sparse::Index j, std::span<const float> shared) {
+          return problem_->coordinate_delta(formulation_, j, shared,
+                                            state_.weights[j]);
+        },
+        [this](sparse::Index j) {
+          return problem_->coordinate_vector(formulation_, j);
+        },
+        [this](sparse::Index j, double delta) {
+          state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
+        },
+        state_.shared);
+  }();
   lost_updates_ += stats.lost_entries;
   ++epochs_run_;
 
@@ -56,6 +63,7 @@ EpochReport AsyncScdSolver::run_epoch() {
   if (recompute_interval_ > 0 && epochs_run_ % recompute_interval_ == 0) {
     // Drift remedy [13]: one exact matrix pass restores w == A·weights;
     // charged at the sequential per-entry rate (it is a plain SpMV).
+    obs::TraceSpan recompute("async_scd/recompute");
     state_.recompute_shared(*problem_);
     report.sim_seconds += cost_model_.epoch_seconds_sequential(workload_) /
                           cost_model_.wild_speedup(threads_);

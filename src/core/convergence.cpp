@@ -1,13 +1,22 @@
 #include "core/convergence.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
+#include <ostream>
+#include <stdexcept>
 
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tpa::core {
 
 const char* cluster_event_name(ClusterEventKind kind) {
+  static_assert(kClusterEventKindCount == 8,
+                "added a ClusterEventKind? name it below, bump the count in "
+                "convergence.hpp, and extend the exhaustive naming test");
   switch (kind) {
     case ClusterEventKind::kCrash:
       return "crash";
@@ -55,6 +64,63 @@ std::optional<int> ConvergenceTrace::epochs_to_gap(double eps) const {
   return std::nullopt;
 }
 
+void ConvergenceTrace::write_csv(std::ostream& out) const {
+  out << "epoch,gap,sim_seconds,wall_seconds,gamma,contributors\n";
+  for (const auto& p : points_) {
+    out << p.epoch << ',' << obs::json_number(p.gap) << ','
+        << obs::json_number(p.sim_seconds) << ','
+        << obs::json_number(p.wall_seconds) << ',' << obs::json_number(p.gamma)
+        << ',' << p.contributors << '\n';
+  }
+}
+
+void ConvergenceTrace::write_jsonl(std::ostream& out) const {
+  for (const auto& p : points_) {
+    out << obs::JsonObject()
+               .field_str("type", "point")
+               .field_int("epoch", p.epoch)
+               .field_num("gap", p.gap)
+               .field_num("sim_seconds", p.sim_seconds)
+               .field_num("wall_seconds", p.wall_seconds)
+               .field_num("gamma", p.gamma)
+               .field_int("contributors", p.contributors)
+               .str()
+        << '\n';
+  }
+  for (const auto& e : events_) {
+    out << obs::JsonObject()
+               .field_str("type", "event")
+               .field_int("epoch", e.epoch)
+               .field_int("worker", e.worker)
+               .field_str("kind", cluster_event_name(e.kind))
+               .str()
+        << '\n';
+  }
+}
+
+namespace {
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("ConvergenceTrace: cannot open " + path +
+                             " for writing");
+  }
+  return out;
+}
+
+}  // namespace
+
+void ConvergenceTrace::write_csv_file(const std::string& path) const {
+  auto out = open_for_write(path);
+  write_csv(out);
+}
+
+void ConvergenceTrace::write_jsonl_file(const std::string& path) const {
+  auto out = open_for_write(path);
+  write_jsonl(out);
+}
+
 int effective_gap_interval(const RunOptions& options) {
   const int interval =
       options.gap_every > 0 ? options.gap_every : options.record_interval;
@@ -73,14 +139,24 @@ ConvergenceTrace run_solver(Solver& solver, const RidgeProblem& problem,
     gap_pool = std::make_unique<util::ThreadPool>(
         static_cast<std::size_t>(options.gap_threads));
   }
+  auto& epoch_counter = obs::metrics().counter("train.epochs");
+  auto& gap_counter = obs::metrics().counter("train.gap_evals");
   for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
-    const auto report = solver.run_epoch();
+    const auto report = [&] {
+      obs::TraceSpan span("train/epoch", obs::kCurrentThread, epoch);
+      return solver.run_epoch();
+    }();
+    epoch_counter.add();
     sim_total += report.sim_seconds;
     wall_total += report.wall_seconds;
     if (epoch % interval == 0 || epoch == options.max_epochs) {
       TracePoint point;
       point.epoch = epoch;
-      point.gap = solver.duality_gap(problem, gap_pool.get());
+      {
+        obs::TraceSpan span("train/gap_eval", obs::kCurrentThread, epoch);
+        point.gap = solver.duality_gap(problem, gap_pool.get());
+      }
+      gap_counter.add();
       point.sim_seconds = sim_total;
       point.wall_seconds = wall_total;
       trace.add(point);

@@ -3,7 +3,9 @@
 // (Figs. 6 and 8).
 #pragma once
 
+#include <iosfwd>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/solver.hpp"
@@ -33,6 +35,12 @@ enum class ClusterEventKind {
   kCheckpoint,      // master wrote an epoch checkpoint
 };
 
+/// Number of ClusterEventKind values.  Keep in sync with the enum above: the
+/// exhaustive naming test iterates [0, kClusterEventKindCount) so a new kind
+/// cannot ship without a cluster_event_name entry.
+inline constexpr std::size_t kClusterEventKindCount =
+    static_cast<std::size_t>(ClusterEventKind::kCheckpoint) + 1;
+
 const char* cluster_event_name(ClusterEventKind kind);
 
 struct ClusterEvent {
@@ -58,6 +66,19 @@ class ConvergenceTrace {
   std::optional<double> sim_time_to_gap(double eps) const;
   /// First epoch count at which gap <= eps, if reached.
   std::optional<int> epochs_to_gap(double eps) const;
+
+  /// CSV export for gap-vs-time figures: a fixed header row
+  /// "epoch,gap,sim_seconds,wall_seconds,gamma,contributors" followed by one
+  /// row per trace point (cluster events are not representable in CSV and
+  /// are omitted — use JSONL when the fault schedule matters).
+  void write_csv(std::ostream& out) const;
+  /// JSONL export: one {"type":"point",...} object per trace point followed
+  /// by one {"type":"event",...} object per cluster event.
+  void write_jsonl(std::ostream& out) const;
+  /// File-opening wrappers; throw std::runtime_error when `path` cannot be
+  /// opened for writing.
+  void write_csv_file(const std::string& path) const;
+  void write_jsonl_file(const std::string& path) const;
 
  private:
   std::vector<TracePoint> points_;

@@ -1,6 +1,7 @@
 #include "core/seq_scd.hpp"
 
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace tpa::core {
@@ -17,13 +18,19 @@ SeqScdSolver::SeqScdSolver(const RidgeProblem& problem, Formulation f,
 
 EpochReport SeqScdSolver::run_epoch() {
   const util::WallTimer timer;
-  const auto order = permutation_.next();
-  for (const auto j : order) {
-    const double delta = problem_->coordinate_delta(
-        formulation_, j, state_.shared, state_.weights[j]);
-    state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
-    linalg::sparse_axpy(delta, problem_->coordinate_vector(formulation_, j),
-                        state_.shared);
+  const auto order = [this] {
+    obs::TraceSpan shuffle("seq_scd/shuffle");
+    return permutation_.next();
+  }();
+  {
+    obs::TraceSpan sweep("seq_scd/sweep");
+    for (const auto j : order) {
+      const double delta = problem_->coordinate_delta(
+          formulation_, j, state_.shared, state_.weights[j]);
+      state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
+      linalg::sparse_axpy(delta, problem_->coordinate_vector(formulation_, j),
+                          state_.shared);
+    }
   }
   EpochReport report;
   report.coordinate_updates = order.size();

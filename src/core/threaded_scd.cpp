@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace tpa::core {
@@ -56,15 +57,23 @@ void ThreadedScdSolver::worker_pass(std::span<const std::uint32_t> coords) {
 
 EpochReport ThreadedScdSolver::run_epoch() {
   const util::WallTimer timer;
-  const auto order = permutation_.next();
+  const auto order = [this] {
+    obs::TraceSpan shuffle("threaded_scd/shuffle");
+    return permutation_.next();
+  }();
 
   // Static partition of the shuffled coordinates across the persistent pool,
   // as the OpenMP parallel-for in the paper's implementation does.  The
   // default grain is ceil(order / threads) — the same per-thread slices the
   // old spawn-per-epoch code built — and workers race on the shared vector
   // inside worker_pass exactly as before (atomic_ref vs wild commits).
+  obs::TraceSpan sweep("threaded_scd/sweep");
   pool_.parallel_for_chunks(
       order.size(), [this, order](std::size_t begin, std::size_t end) {
+        // One span per pool-thread slice, on that thread's own track.
+        obs::TraceSpan chunk("threaded_scd/chunk",
+                             obs::kCurrentThread,
+                             static_cast<std::int64_t>(end - begin));
         worker_pass(order.subspan(begin, end - begin));
       });
 

@@ -1,6 +1,7 @@
 #include "core/tpa_scd.hpp"
 
 #include "core/cost_model.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace tpa::core {
@@ -54,11 +55,15 @@ TpaScdSolver::TpaScdSolver(const RidgeProblem& problem, Formulation f,
 
 EpochReport TpaScdSolver::run_epoch() {
   const util::WallTimer timer;
-  const auto order = permutation_.next();
+  const auto order = [this] {
+    obs::TraceSpan shuffle("tpa_scd/shuffle");
+    return permutation_.next();
+  }();
   const auto labels = problem_->dataset().labels();
   const auto n = static_cast<double>(problem_->effective_examples());
   const double lambda = problem_->lambda();
 
+  obs::TraceSpan sweep("tpa_scd/sweep");
   engine_.run_epoch(
       order,
       // The thread-block body of Algorithm 2: strided partial inner product

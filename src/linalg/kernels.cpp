@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 // Explicit SIMD paths for the gather-bound sparse kernels: the compiler will
 // happily vectorise the dense multi-accumulator loops on its own but never
 // emits hardware gathers for the indexed ones.  Available when the kernels TU
@@ -35,7 +37,13 @@ KernelBackend backend_from_env() {
 }
 
 std::atomic<KernelBackend>& backend_slot() noexcept {
-  static std::atomic<KernelBackend> backend{backend_from_env()};
+  static std::atomic<KernelBackend> backend = [] {
+    const KernelBackend initial = backend_from_env();
+    // Tag the trace so an exported timeline records which kernel backend
+    // produced it (otherData.kernel_backend in the Chrome trace).
+    obs::set_trace_metadata("kernel_backend", kernel_backend_name(initial));
+    return std::atomic<KernelBackend>{initial};
+  }();
   return backend;
 }
 
@@ -57,10 +65,24 @@ KernelBackend kernel_backend() noexcept {
 
 void set_kernel_backend(KernelBackend backend) noexcept {
   backend_slot().store(backend, std::memory_order_relaxed);
+  obs::set_trace_metadata("kernel_backend", kernel_backend_name(backend));
+  // A switch mid-run is worth a mark on the timeline: spans before and after
+  // it ran on different kernels.
+  obs::trace_instant(backend == KernelBackend::kScalar
+                         ? "kernel_backend:scalar"
+                         : "kernel_backend:vectorized");
 }
 
 const char* kernel_backend_name(KernelBackend backend) noexcept {
   return backend == KernelBackend::kScalar ? "scalar" : "vectorized";
+}
+
+bool kernel_native_build() noexcept {
+#if defined(TPA_KERNEL_NATIVE_BUILD)
+  return true;
+#else
+  return false;
+#endif
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,12 @@ void set_kernel_backend(KernelBackend backend) noexcept;
 
 const char* kernel_backend_name(KernelBackend backend) noexcept;
 
+/// True when the kernels TU was compiled for the build host's ISA
+/// (TPA_KERNEL_NATIVE in CMakeLists.txt), i.e. the vectorized backend may be
+/// using packed SIMD / hardware gathers.  Exported into bench and run-report
+/// metadata so perf numbers are attributable to a build configuration.
+bool kernel_native_build() noexcept;
+
 namespace scalar {
 
 double dot(std::span<const float> x, std::span<const float> y);

@@ -1,0 +1,32 @@
+#include "obs/build_info.hpp"
+
+namespace tpa::obs {
+
+namespace {
+
+#ifndef TPA_GIT_SHA
+#define TPA_GIT_SHA "unknown"
+#endif
+#ifndef TPA_BUILD_TYPE
+#define TPA_BUILD_TYPE "unknown"
+#endif
+
+#if defined(__clang__)
+constexpr const char* kCompiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+constexpr const char* kCompiler = "gcc " __VERSION__;
+#else
+constexpr const char* kCompiler = "unknown";
+#endif
+
+}  // namespace
+
+BuildInfo build_info() noexcept {
+  BuildInfo info;
+  info.git_sha = TPA_GIT_SHA;
+  info.compiler = kCompiler;
+  info.build_type = TPA_BUILD_TYPE;
+  return info;
+}
+
+}  // namespace tpa::obs

@@ -1,0 +1,48 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace tpa::obs {
+
+void Histogram::record(double value) noexcept {
+  std::size_t bucket = 0;
+  if (value >= 1.0) {
+    const auto ticks = static_cast<std::uint64_t>(value);
+    bucket = std::min<std::size_t>(
+        kBuckets - 1, static_cast<std::size_t>(std::bit_width(ticks)) - 1);
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::total_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  const double rank = std::max(
+      1.0, std::clamp(q, 0.0, 1.0) * static_cast<double>(total));
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    running += counts[b];
+    if (static_cast<double>(running) >= rank) {
+      return static_cast<double>(std::uint64_t{1} << (b + 1));
+    }
+  }
+  return static_cast<double>(std::uint64_t{1} << kBuckets);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tpa::obs

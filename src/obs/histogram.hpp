@@ -1,0 +1,41 @@
+// Power-of-two-bucket histogram, generalised out of serve/metrics so every
+// subsystem (serving latency, batch sizes, epoch times) records into the same
+// type.  Recording is one relaxed atomic increment — request threads, batch
+// workers and solver threads never contend on a lock.
+//
+// Quantile contract: bucket b counts values in [2^b, 2^(b+1)); a reported
+// quantile is the *upper edge* of the bucket holding the target rank, i.e.
+// exact to within one 2x bucket.  Values below 2 land in bucket 0 (edge 2),
+// values at or beyond 2^31 land in the overflow bucket (edge 2^32).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace tpa::obs {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  /// Records one sample.  Unit-agnostic: callers pick the tick (the serving
+  /// wrapper records microseconds).  Negative values count as bucket 0.
+  void record(double value) noexcept;
+
+  std::uint64_t total_count() const noexcept;
+
+  /// Value at quantile q in [0, 1]: upper edge of the bucket containing
+  /// rank max(1, ceil(q * count)) — so quantile(0) is the smallest occupied
+  /// bucket's edge, never an empty leading bucket.  Returns 0 when empty.
+  double quantile(double q) const noexcept;
+
+  /// Zeroes every bucket.  Not atomic with respect to concurrent record()
+  /// calls: samples racing with a reset land on either side of it.
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace tpa::obs

@@ -1,0 +1,41 @@
+// Minimal JSON rendering helpers shared by the observability exporters (the
+// metrics registry, the Chrome-trace writer, the tools' --metrics-out run
+// reports).  Writing only — the repo never parses JSON; validation happens in
+// CI with a real parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tpa::obs {
+
+/// `s` with JSON string escaping applied and surrounding double quotes.
+std::string json_quote(std::string_view s);
+
+/// `v` printed with enough digits to round-trip (%.17g); "0" for NaN/inf,
+/// which JSON cannot represent.
+std::string json_number(double v);
+
+/// Incremental builder for one flat JSON object.  Field types are spelled
+/// out in the method names (field_str / field_num / ...) because overloading
+/// on const char* vs bool vs double is a resolution trap.
+class JsonObject {
+ public:
+  JsonObject& field_str(std::string_view key, std::string_view value);
+  JsonObject& field_num(std::string_view key, double value);
+  JsonObject& field_int(std::string_view key, std::int64_t value);
+  JsonObject& field_uint(std::string_view key, std::uint64_t value);
+  JsonObject& field_bool(std::string_view key, bool value);
+  /// `value` is spliced in verbatim (a pre-rendered object or array).
+  JsonObject& field_raw(std::string_view key, std::string_view value);
+
+  /// The complete object, e.g. {"a": 1, "b": "x"}.
+  std::string str() const;
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+}  // namespace tpa::obs

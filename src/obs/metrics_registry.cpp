@@ -1,0 +1,115 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace tpa::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[name];
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    s.counters.emplace_back(name, counter.value());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    s.gauges.emplace_back(name, gauge.value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramStats stats;
+    stats.name = name;
+    stats.count = histogram.total_count();
+    stats.p50 = histogram.quantile(0.50);
+    stats.p95 = histogram.quantile(0.95);
+    stats.p99 = histogram.quantile(0.99);
+    s.histograms.push_back(std::move(stats));
+  }
+  return s;
+}
+
+std::string MetricsRegistry::to_text() const {
+  const auto s = snapshot();
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : s.counters) {
+    std::snprintf(line, sizeof(line), "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : s.gauges) {
+    std::snprintf(line, sizeof(line), "gauge %s %.17g\n", name.c_str(), value);
+    out += line;
+  }
+  for (const auto& h : s.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%llu p50=%.0f p95=%.0f p99=%.0f\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.p50, h.p95, h.p99);
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& out) const {
+  const auto s = snapshot();
+  for (const auto& [name, value] : s.counters) {
+    out << JsonObject()
+               .field_str("type", "counter")
+               .field_str("name", name)
+               .field_uint("value", value)
+               .str()
+        << "\n";
+  }
+  for (const auto& [name, value] : s.gauges) {
+    out << JsonObject()
+               .field_str("type", "gauge")
+               .field_str("name", name)
+               .field_num("value", value)
+               .str()
+        << "\n";
+  }
+  for (const auto& h : s.histograms) {
+    out << JsonObject()
+               .field_str("type", "histogram")
+               .field_str("name", h.name)
+               .field_uint("count", h.count)
+               .field_num("p50", h.p50)
+               .field_num("p95", h.p95)
+               .field_num("p99", h.p99)
+               .str()
+        << "\n";
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, gauge] : gauges_) gauge.reset();
+  for (auto& [name, histogram] : histograms_) histogram.reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace tpa::obs

@@ -1,0 +1,100 @@
+// Process-wide metrics registry: named counters, gauges and histograms with
+// lock-free recording.
+//
+// Registration (the first counter("x") for a given name) takes a mutex, so
+// hot paths look a metric up once and keep the returned reference — node
+// addresses are stable for the registry's lifetime.  Recording on a held
+// reference is a single relaxed atomic operation.
+//
+// Naming convention: dotted lowercase paths grouped by layer, e.g.
+// "train.epochs", "cluster.event.crash", "serve.batches".  The snapshot,
+// text and JSONL exporters emit metrics sorted by name.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace tpa::obs {
+
+/// Monotone counter.  add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar.  set() is one relaxed store.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or registers the named metric; the reference stays valid (and its
+  /// address stable) for the registry's lifetime.  Thread-safe.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  struct HistogramStats {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// Point-in-time copy of every registered metric, sorted by name.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramStats> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// One metric per line: "counter <name> <value>" / "gauge <name> <value>" /
+  /// "histogram <name> count=<n> p50=<v> p95=<v> p99=<v>".
+  std::string to_text() const;
+
+  /// One JSON object per line ({"type": "counter", "name": ..., ...}), the
+  /// format the --metrics-out run reports embed.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Zeroes every registered metric (names stay registered).  Meant for
+  /// tests and between-run boundaries, not concurrent use.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // node-based maps: metric addresses must survive later registrations.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The process-wide registry every layer records into.
+MetricsRegistry& metrics();
+
+}  // namespace tpa::obs

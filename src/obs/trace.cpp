@@ -1,0 +1,270 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace tpa::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  const char* name = nullptr;
+  double ts_us = 0.0;
+  double dur_us = -1.0;  // < 0 => instant
+  std::int32_t track = kCurrentThread;
+  std::int64_t arg = kNoArg;
+};
+
+/// One ring per recording thread.  Only the owning thread writes; exporters
+/// read `recorded` with acquire so every slot published before it is
+/// visible.  kCapacity events ≈ 1.3 MB — paid only by threads that trace.
+struct ThreadBuffer {
+  static constexpr std::size_t kCapacity = std::size_t{1} << 15;
+
+  explicit ThreadBuffer(int tid_in) : events(kCapacity), tid(tid_in) {}
+
+  void record(const TraceEvent& event) noexcept {
+    const std::uint64_t n = recorded.load(std::memory_order_relaxed);
+    events[static_cast<std::size_t>(n % kCapacity)] = event;
+    recorded.store(n + 1, std::memory_order_release);
+  }
+
+  std::vector<TraceEvent> events;
+  std::atomic<std::uint64_t> recorded{0};
+  int tid;
+};
+
+struct TraceState {
+  Clock::time_point epoch = Clock::now();
+  std::mutex mutex;  // guards buffers growth, track names, metadata
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::map<std::int32_t, std::string> track_names;
+  std::map<std::string, std::string> metadata;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+thread_local ThreadBuffer* tl_buffer = nullptr;
+
+ThreadBuffer& local_buffer() {
+  if (tl_buffer == nullptr) {
+    auto& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.buffers.push_back(
+        std::make_unique<ThreadBuffer>(static_cast<int>(s.buffers.size())));
+    tl_buffer = s.buffers.back().get();
+  }
+  return *tl_buffer;
+}
+
+std::string g_atexit_path;
+
+/// TPA_TRACE environment hook: "1" enables recording; any other non-empty,
+/// non-"0" value additionally writes the Chrome trace there at exit.  The
+/// TraceState singleton is forced into existence *before* std::atexit so its
+/// destructor runs after the exit handler (LIFO teardown).
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("TPA_TRACE");
+    if (env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0) {
+      return;
+    }
+    (void)state();
+    detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+    if (std::strcmp(env, "1") != 0) {
+      g_atexit_path = env;
+      std::atexit([] { write_chrome_trace(g_atexit_path); });
+    }
+  }
+};
+const EnvInit g_env_init;
+
+// Callers hold state().mutex (or are otherwise sure `buffers` is not
+// growing concurrently).
+std::uint64_t dropped_unlocked(const TraceState& s) noexcept {
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : s.buffers) {
+    const std::uint64_t n = buffer->recorded.load(std::memory_order_acquire);
+    if (n > ThreadBuffer::kCapacity) dropped += n - ThreadBuffer::kCapacity;
+  }
+  return dropped;
+}
+
+void append_event_json(std::string& out, const TraceEvent& event, int tid) {
+  JsonObject object;
+  object.field_str("name", event.name)
+      .field_str("ph", event.dur_us < 0.0 ? "i" : "X")
+      .field_num("ts", event.ts_us);
+  if (event.dur_us >= 0.0) {
+    object.field_num("dur", event.dur_us);
+  } else {
+    object.field_str("s", "t");  // instant scoped to its thread/track
+  }
+  object.field_int("pid", 1).field_int(
+      "tid", event.track == kCurrentThread ? tid : event.track);
+  if (event.arg != kNoArg) {
+    object.field_raw("args",
+                     JsonObject().field_int("v", event.arg).str());
+  }
+  out += object.str();
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) noexcept {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+double trace_now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   state().epoch)
+      .count();
+}
+
+void trace_complete(const char* name, double ts_us, double dur_us,
+                    std::int32_t track, std::int64_t arg) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us < 0.0 ? 0.0 : dur_us;
+  event.track = track;
+  event.arg = arg;
+  local_buffer().record(event);
+}
+
+void trace_instant(const char* name, std::int32_t track, std::int64_t arg) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = trace_now_us();
+  event.dur_us = -1.0;
+  event.track = track;
+  event.arg = arg;
+  local_buffer().record(event);
+}
+
+void set_track_name(std::int32_t track, const std::string& name) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.track_names[track] = name;
+}
+
+void set_trace_metadata(const std::string& key, const std::string& value) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.metadata[key] = value;
+}
+
+std::string trace_metadata(const std::string& key) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.metadata.find(key);
+  return it == s.metadata.end() ? std::string() : it->second;
+}
+
+std::string chrome_trace_json() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"otherData\": ";
+  JsonObject metadata;
+  for (const auto& [key, value] : s.metadata) {
+    metadata.field_str(key, value);
+  }
+  metadata.field_uint("dropped_events", dropped_unlocked(s));
+  out += metadata.str();
+  out += ", \"traceEvents\": [";
+
+  bool first = true;
+  const auto separator = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+
+  for (const auto& [track, name] : s.track_names) {
+    separator();
+    out += JsonObject()
+               .field_str("name", "thread_name")
+               .field_str("ph", "M")
+               .field_int("pid", 1)
+               .field_int("tid", track)
+               .field_raw("args",
+                          JsonObject().field_str("name", name).str())
+               .str();
+  }
+  for (const auto& buffer : s.buffers) {
+    const std::uint64_t n = buffer->recorded.load(std::memory_order_acquire);
+    const std::size_t kept =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            n, ThreadBuffer::kCapacity));
+    // Oldest surviving event first: a wrapped ring starts at n % capacity.
+    const std::size_t start =
+        n <= ThreadBuffer::kCapacity
+            ? 0
+            : static_cast<std::size_t>(n % ThreadBuffer::kCapacity);
+    for (std::size_t i = 0; i < kept; ++i) {
+      separator();
+      append_event_json(
+          out, buffer->events[(start + i) % ThreadBuffer::kCapacity],
+          buffer->tid);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("trace: cannot open " + path);
+  }
+  file << chrome_trace_json();
+  if (!file) {
+    throw std::runtime_error("trace: write failed for " + path);
+  }
+}
+
+std::uint64_t trace_events_recorded() noexcept {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : s.buffers) {
+    total += buffer->recorded.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t trace_events_dropped() noexcept {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return dropped_unlocked(s);
+}
+
+void reset_trace() noexcept {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& buffer : s.buffers) {
+    buffer->recorded.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tpa::obs

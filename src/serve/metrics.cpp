@@ -1,47 +1,8 @@
 #include "serve/metrics.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
 #include <cstdio>
 
 namespace tpa::serve {
-
-void LatencyHistogram::record(double seconds) noexcept {
-  const double us = seconds * 1e6;
-  std::size_t bucket = 0;
-  if (us >= 1.0) {
-    const auto ticks = static_cast<std::uint64_t>(us);
-    bucket = std::min<std::size_t>(kBuckets - 1,
-                                   static_cast<std::size_t>(std::bit_width(ticks)) - 1);
-  }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-}
-
-std::uint64_t LatencyHistogram::total_count() const noexcept {
-  std::uint64_t total = 0;
-  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
-  return total;
-}
-
-double LatencyHistogram::quantile_us(double q) const noexcept {
-  std::array<std::uint64_t, kBuckets> counts;
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    counts[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
-  if (total == 0) return 0.0;
-  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
-  std::uint64_t running = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    running += counts[b];
-    if (static_cast<double>(running) >= rank) {
-      return static_cast<double>(std::uint64_t{1} << (b + 1));
-    }
-  }
-  return static_cast<double>(std::uint64_t{1} << kBuckets);
-}
 
 StatsSnapshot ServingMetrics::snapshot() const {
   StatsSnapshot s;
@@ -62,6 +23,16 @@ StatsSnapshot ServingMetrics::snapshot() const {
   s.p95_us = latency_.quantile_us(0.95);
   s.p99_us = latency_.quantile_us(0.99);
   return s;
+}
+
+void ServingMetrics::reset() noexcept {
+  accepted_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  reloads_.store(0, std::memory_order_relaxed);
+  latency_.reset();
+  clock_.reset();
 }
 
 std::string StatsSnapshot::summary() const {

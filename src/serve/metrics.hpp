@@ -1,17 +1,19 @@
-// Serving metrics: lock-free counters plus a fixed-bucket latency histogram.
+// Serving metrics: lock-free counters plus a fixed-bucket latency histogram
+// (a microsecond-unit view over the shared obs::Histogram).
 //
 // Every recording path is a relaxed atomic increment, so request threads and
 // batch workers never contend on a lock.  Quantiles (p50/p95/p99) come from a
 // snapshot walk over the power-of-two microsecond buckets; a reported value
-// is the upper edge of the bucket holding the target rank, i.e. exact to
-// within one 2x bucket.
+// is the *upper edge* of the 2x bucket holding the target rank — exact to
+// within one bucket, so e.g. a reported p99 of 512µs means the true p99 lies
+// in (256µs, 512µs].
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hpp"
 #include "util/timer.hpp"
 
 namespace tpa::serve {
@@ -20,30 +22,40 @@ namespace tpa::serve {
 /// [2^b, 2^(b+1)) microseconds; under/overflows land in the edge buckets.
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 32;
+  static constexpr std::size_t kBuckets = obs::Histogram::kBuckets;
 
-  void record(double seconds) noexcept;
+  void record(double seconds) noexcept { histogram_.record(seconds * 1e6); }
 
-  std::uint64_t total_count() const noexcept;
+  std::uint64_t total_count() const noexcept {
+    return histogram_.total_count();
+  }
 
   /// Latency (µs) at quantile q in [0, 1]: upper edge of the bucket that
-  /// contains the rank.  Returns 0 when empty.
-  double quantile_us(double q) const noexcept;
+  /// contains the rank (see obs::Histogram::quantile).  Returns 0 when
+  /// empty; sub-µs samples report the bucket-0 edge (2µs); samples at or
+  /// beyond 2^31µs report the overflow edge (2^32µs).
+  double quantile_us(double q) const noexcept { return histogram_.quantile(q); }
+
+  void reset() noexcept { histogram_.reset(); }
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  obs::Histogram histogram_;
 };
 
-/// Point-in-time copy of every serving counter, with derived rates.
+/// Point-in-time copy of every serving counter, with derived rates.  All
+/// fields cover the same window — from ServingMetrics construction or its
+/// most recent reset() to the moment of the snapshot — so throughput_rps is
+/// always completed-in-window / wall-seconds-of-window.
 struct StatsSnapshot {
   std::uint64_t accepted = 0;    // requests admitted to the queue
   std::uint64_t rejected = 0;    // requests shed (queue full / no model)
   std::uint64_t completed = 0;   // predictions delivered
   std::uint64_t batches = 0;     // batches executed
   std::uint64_t reloads = 0;     // model publications observed
-  double wall_seconds = 0.0;     // since metrics construction / reset
+  double wall_seconds = 0.0;     // window length (construction/reset → now)
   double throughput_rps = 0.0;   // completed / wall_seconds
   double mean_batch_size = 0.0;  // completed / batches
+  // Bucket upper edges (see the quantile contract above).
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
@@ -76,6 +88,13 @@ class ServingMetrics {
   }
 
   StatsSnapshot snapshot() const;
+
+  /// Starts a fresh measurement window: zeroes every counter and the
+  /// histogram, and restarts the wall clock — together, so post-reset
+  /// snapshots derive rates from post-reset counts over post-reset time
+  /// only.  Not atomic with respect to concurrent recorders: an event
+  /// racing with the reset lands entirely in the old or the new window.
+  void reset() noexcept;
 
  private:
   std::atomic<std::uint64_t> accepted_{0};

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "serve/scorer.hpp"
 #include "util/logging.hpp"
 
@@ -25,6 +26,9 @@ std::uint64_t Server::publish(const core::SavedModel& saved) {
 }
 
 std::uint64_t Server::reload(const std::string& path) {
+  // The span covers retries and backoff sleeps: the exported duration is the
+  // full time serving ran on the stale model.
+  obs::TraceSpan span("serve/reload");
   const int attempts = 1 + std::max(0, config_.reload_retries);
   for (int attempt = 1;; ++attempt) {
     try {
@@ -60,6 +64,8 @@ SubmitResult Server::submit(sparse::SparseVectorView row) {
 }
 
 void Server::execute_batch(std::vector<Request>& batch) {
+  obs::TraceSpan span("serve/batch", obs::kCurrentThread,
+                      static_cast<std::int64_t>(batch.size()));
   // One model snapshot per batch: a publish() racing with this batch either
   // lands before (whole batch scores on the new weights) or after (batch
   // finishes on the old weights, freed with the last reference).

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
 
 #include "core/metrics.hpp"
 #include "core/seq_scd.hpp"
 #include "data/generators.hpp"
+#include "obs/json.hpp"
 
 namespace tpa::core {
 namespace {
@@ -35,6 +39,57 @@ TEST(ConvergenceTrace, EmptyTrace) {
   EXPECT_TRUE(trace.empty());
   EXPECT_EQ(trace.final_gap(), 0.0);
   EXPECT_FALSE(trace.sim_time_to_gap(1.0).has_value());
+}
+
+TEST(ConvergenceTrace, WriteCsvEmitsHeaderAndRows) {
+  auto trace = synthetic_trace();
+  trace.add_event({2, 1, ClusterEventKind::kCrash});  // CSV omits events
+  std::ostringstream out;
+  trace.write_csv(out);
+  const auto csv = out.str();
+  EXPECT_NE(csv.find("epoch,gap,sim_seconds,wall_seconds,gamma,contributors\n"),
+            std::string::npos);
+  const std::string row1 = "1," + obs::json_number(1e-1) + ",1," +
+                           obs::json_number(0.1) + ",0.5,0\n";
+  const std::string row3 = "3," + obs::json_number(1e-5) + ",3," +
+                           obs::json_number(0.3) + "," + obs::json_number(0.7) +
+                           ",0\n";
+  EXPECT_NE(csv.find(row1), std::string::npos);
+  EXPECT_NE(csv.find(row3), std::string::npos);
+  EXPECT_EQ(csv.find("crash"), std::string::npos);
+}
+
+TEST(ConvergenceTrace, WriteJsonlEmitsPointsThenEvents) {
+  auto trace = synthetic_trace();
+  trace.add_event({2, 1, ClusterEventKind::kCrash});
+  trace.add_event({4, -1, ClusterEventKind::kCheckpoint});
+  std::ostringstream out;
+  trace.write_jsonl(out);
+  const auto jsonl = out.str();
+  const std::string point1 =
+      "{\"type\": \"point\", \"epoch\": 1, \"gap\": " + obs::json_number(1e-1) +
+      ", \"sim_seconds\": 1, \"wall_seconds\": " + obs::json_number(0.1) +
+      ", \"gamma\": 0.5, \"contributors\": 0}";
+  EXPECT_NE(jsonl.find(point1), std::string::npos);
+  EXPECT_NE(jsonl.find("{\"type\": \"event\", \"epoch\": 2, \"worker\": 1, "
+                       "\"kind\": \"crash\"}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("{\"type\": \"event\", \"epoch\": 4, \"worker\": -1, "
+                       "\"kind\": \"checkpoint\"}"),
+            std::string::npos);
+  // Every point line precedes every event line.
+  EXPECT_LT(jsonl.rfind("\"type\": \"point\""),
+            jsonl.find("\"type\": \"event\""));
+}
+
+TEST(ClusterEvents, EveryKindHasAName) {
+  for (std::size_t i = 0; i < kClusterEventKindCount; ++i) {
+    const auto kind = static_cast<ClusterEventKind>(i);
+    const char* name = cluster_event_name(kind);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "") << "kind " << i;
+    EXPECT_STRNE(name, "?") << "kind " << i;
+  }
 }
 
 data::Dataset dataset() {

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/build_info.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace tpa::obs {
+namespace {
+
+// ---- Histogram ------------------------------------------------------------
+
+TEST(Histogram, EmptyReportsZero) {
+  const Histogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryQuantile) {
+  Histogram h;
+  h.record(100.0);  // bucket 6 = [64, 128), upper edge 128
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_EQ(h.quantile(0.0), 128.0);
+  EXPECT_EQ(h.quantile(0.5), 128.0);
+  EXPECT_EQ(h.quantile(1.0), 128.0);
+}
+
+TEST(Histogram, QuantileIsBucketUpperEdge) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(3.0);  // bucket 1 = [2, 4)
+  h.record(1000.0);                            // bucket 9 = [512, 1024)
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_EQ(h.quantile(0.50), 4.0);
+  EXPECT_EQ(h.quantile(0.99), 4.0);
+  EXPECT_EQ(h.quantile(1.0), 1024.0);
+}
+
+TEST(Histogram, TinyAndNegativeSamplesLandInBucketZero) {
+  Histogram h;
+  h.record(0.5);
+  h.record(-17.0);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.quantile(1.0), 2.0);  // bucket 0 upper edge
+}
+
+TEST(Histogram, OverflowLandsInTopBucket) {
+  Histogram h;
+  h.record(1e18);  // far beyond 2^31
+  EXPECT_EQ(h.total_count(), 1u);
+  // Top bucket b=31 has upper edge 2^32.
+  EXPECT_EQ(h.quantile(1.0), 4294967296.0);
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram h;
+  h.record(10.0);
+  h.record(1e18);
+  h.reset();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileIsMonotoneInQ) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+// ---- JSON helpers ---------------------------------------------------------
+
+TEST(Json, QuoteEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_quote(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+}
+
+TEST(Json, NumberRoundTripsAndRejectsNonFinite) {
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(std::nan("")), "0");
+}
+
+TEST(Json, ObjectBuilder) {
+  const auto s = JsonObject()
+                     .field_str("a", "x")
+                     .field_num("b", 1.5)
+                     .field_int("c", -2)
+                     .field_uint("d", 3)
+                     .field_bool("e", true)
+                     .field_raw("f", "[1, 2]")
+                     .str();
+  EXPECT_EQ(s,
+            "{\"a\": \"x\", \"b\": 1.5, \"c\": -2, \"d\": 3, "
+            "\"e\": true, \"f\": [1, 2]}");
+  EXPECT_EQ(JsonObject().str(), "{}");
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.counter("t.count").add(3);
+  registry.counter("t.count").add();
+  registry.gauge("t.gamma").set(0.25);
+  registry.histogram("t.lat").record(100.0);
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "t.count");
+  EXPECT_EQ(snap.counters[0].second, 4u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 0.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].p50, 128.0);
+}
+
+TEST(MetricsRegistry, ReferencesAreStableAcrossRegistrations) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("stable.a");
+  // Force more registrations; node-based storage must not move `first`.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("stable.fill." + std::to_string(i));
+  }
+  EXPECT_EQ(&first, &registry.counter("stable.a"));
+  first.add(7);
+  EXPECT_EQ(registry.counter("stable.a").value(), 7u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add();
+  registry.counter("a.first").add();
+  registry.counter("m.middle").add();
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "m.middle");
+  EXPECT_EQ(snap.counters[2].first, "z.last");
+}
+
+TEST(MetricsRegistry, ConcurrentCountingLosesNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("race");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, TextAndJsonlExporters) {
+  MetricsRegistry registry;
+  registry.counter("c").add(2);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").record(3.0);
+
+  const auto text = registry.to_text();
+  EXPECT_NE(text.find("counter c 2"), std::string::npos);
+  EXPECT_NE(text.find("gauge g 1.5"), std::string::npos);
+  EXPECT_NE(text.find("histogram h count=1"), std::string::npos);
+
+  std::ostringstream out;
+  registry.write_jsonl(out);
+  const auto jsonl = out.str();
+  EXPECT_NE(
+      jsonl.find(
+          "{\"type\": \"counter\", \"name\": \"c\", \"value\": 2}"),
+      std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\": \"histogram\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsNames) {
+  MetricsRegistry registry;
+  registry.counter("c").add(5);
+  registry.gauge("g").set(2.0);
+  registry.histogram("h").record(10.0);
+  registry.reset();
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, 0u);
+  EXPECT_EQ(snap.gauges[0].second, 0.0);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+// ---- Tracer ---------------------------------------------------------------
+
+// The tracer is process-global; every test starts from a clean, disabled
+// state and leaves it that way.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(false);
+    reset_trace();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    reset_trace();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  const auto before = trace_events_recorded();
+  {
+    TraceSpan span("noop/span");
+    trace_instant("noop/instant");
+    trace_complete("noop/complete", 0.0, 1.0);
+  }
+  EXPECT_EQ(trace_events_recorded(), before);
+}
+
+TEST_F(TraceTest, SpanDisarmedAtConstructionStaysDisarmed) {
+  const auto before = trace_events_recorded();
+  {
+    TraceSpan span("late/enable");
+    set_trace_enabled(true);  // too late for this span
+  }
+  EXPECT_EQ(trace_events_recorded(), before);
+}
+
+TEST_F(TraceTest, SpansAndInstantsExportAsChromeTrace) {
+  set_trace_enabled(true);
+  { TraceSpan span("unit/span", kCurrentThread, 42); }
+  trace_instant("unit/instant", 7, 3);
+  set_trace_enabled(false);
+
+  EXPECT_EQ(trace_events_recorded(), 2u);
+  EXPECT_EQ(trace_events_dropped(), 0u);
+  const auto json = chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"unit/span\", \"ph\": \"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"v\": 42}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"unit/instant\", \"ph\": \"i\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 7"), std::string::npos);
+}
+
+TEST_F(TraceTest, TrackNamesAndMetadataExport) {
+  set_track_name(55, "unit/track");
+  set_trace_metadata("unit_key", "unit_value");
+  EXPECT_EQ(trace_metadata("unit_key"), "unit_value");
+  EXPECT_EQ(trace_metadata("missing_key"), "");
+  const auto json = chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"name\": \"unit/track\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"unit_key\": \"unit_value\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapCountsDropped) {
+  set_trace_enabled(true);
+  constexpr std::uint64_t kOver = 100;
+  const std::uint64_t total = (std::uint64_t{1} << 15) + kOver;
+  for (std::uint64_t i = 0; i < total; ++i) trace_instant("wrap/event");
+  set_trace_enabled(false);
+  EXPECT_EQ(trace_events_recorded(), total);
+  EXPECT_EQ(trace_events_dropped(), kOver);
+  // The export still succeeds and reports the drop count.
+  const auto json = chrome_trace_json();
+  EXPECT_NE(json.find("\"dropped_events\": 100"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanDurationIsNonNegativeAndOrdered) {
+  set_trace_enabled(true);
+  const double before = trace_now_us();
+  { TraceSpan span("order/span"); }
+  const double after = trace_now_us();
+  set_trace_enabled(false);
+  EXPECT_LE(before, after);
+  EXPECT_EQ(trace_events_recorded(), 1u);
+}
+
+// ---- Build info -----------------------------------------------------------
+
+TEST(BuildInfo, FieldsAreNonEmpty) {
+  const auto info = build_info();
+  EXPECT_NE(info.git_sha, nullptr);
+  EXPECT_NE(info.compiler, nullptr);
+  EXPECT_NE(info.build_type, nullptr);
+  EXPECT_GT(std::string(info.git_sha).size(), 0u);
+  EXPECT_GT(std::string(info.compiler).size(), 0u);
+}
+
+}  // namespace
+}  // namespace tpa::obs

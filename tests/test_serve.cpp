@@ -166,6 +166,29 @@ TEST(LatencyHistogramTest, EmptyAndExtremeValues) {
   EXPECT_GT(histogram.quantile_us(1.0), 0.0);
 }
 
+TEST(LatencyHistogramTest, SingleSampleIsEveryQuantile) {
+  LatencyHistogram histogram;
+  histogram.record(100e-6);  // 100 µs → [64, 128) bucket, upper edge 128
+  EXPECT_EQ(histogram.total_count(), 1u);
+  EXPECT_DOUBLE_EQ(histogram.quantile_us(0.0), 128.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile_us(0.5), 128.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile_us(1.0), 128.0);
+}
+
+TEST(LatencyHistogramTest, OverflowSaturatesAtTopBucketEdge) {
+  LatencyHistogram histogram;
+  histogram.record(1e9);  // 10^15 µs, far beyond the 2^31 µs top bucket start
+  EXPECT_DOUBLE_EQ(histogram.quantile_us(1.0), 4294967296.0);  // 2^32 µs
+}
+
+TEST(LatencyHistogramTest, ResetClearsSamples) {
+  LatencyHistogram histogram;
+  histogram.record(100e-6);
+  histogram.reset();
+  EXPECT_EQ(histogram.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.quantile_us(0.5), 0.0);
+}
+
 TEST(ServingMetricsTest, SnapshotAggregatesCounters) {
   ServingMetrics metrics;
   metrics.record_accept();
@@ -185,6 +208,37 @@ TEST(ServingMetricsTest, SnapshotAggregatesCounters) {
   EXPECT_GT(stats.throughput_rps, 0.0);
   EXPECT_GT(stats.p99_us, 0.0);
   EXPECT_NE(stats.summary().find("served 2 req"), std::string::npos);
+}
+
+TEST(ServingMetricsTest, ResetStartsAFreshWindow) {
+  ServingMetrics metrics;
+  metrics.record_accept();
+  metrics.record_reject();
+  metrics.record_batch(4);
+  metrics.record_latency(50e-6);
+  metrics.record_reload();
+  metrics.reset();
+
+  const auto zeroed = metrics.snapshot();
+  EXPECT_EQ(zeroed.accepted, 0u);
+  EXPECT_EQ(zeroed.rejected, 0u);
+  EXPECT_EQ(zeroed.completed, 0u);
+  EXPECT_EQ(zeroed.batches, 0u);
+  EXPECT_EQ(zeroed.reloads, 0u);
+  EXPECT_DOUBLE_EQ(zeroed.p99_us, 0.0);
+  EXPECT_DOUBLE_EQ(zeroed.throughput_rps, 0.0);
+
+  // Events after the reset land in the new window: counts, the latency
+  // histogram and the wall clock all restart together.
+  metrics.record_accept();
+  metrics.record_batch(1);
+  metrics.record_latency(50e-6);
+  const auto fresh = metrics.snapshot();
+  EXPECT_EQ(fresh.accepted, 1u);
+  EXPECT_EQ(fresh.completed, 1u);
+  EXPECT_EQ(fresh.batches, 1u);
+  EXPECT_GT(fresh.p99_us, 0.0);
+  EXPECT_GE(fresh.wall_seconds, 0.0);
 }
 
 TEST(ModelRegistryTest, StartsEmptyAndVersionsPublishes) {

@@ -1,0 +1,45 @@
+// Shared --metrics-out support for the CLI tools: a JSONL "run report" that
+// makes one run self-describing — a meta line (build provenance + kernel
+// backend + tracer totals) followed by whatever the tool appends (trace
+// points, cluster events, the metric snapshot).  bench/perf_smoke embeds the
+// same metadata in its BENCH_*.json "meta" object.
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "linalg/kernels.hpp"
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace tpa::tools {
+
+/// The {"type":"meta",...} first line of every run report.
+inline std::string run_meta_json(const std::string& tool) {
+  const auto info = obs::build_info();
+  return obs::JsonObject()
+      .field_str("type", "meta")
+      .field_str("tool", tool)
+      .field_str("git_sha", info.git_sha)
+      .field_str("compiler", info.compiler)
+      .field_str("build_type", info.build_type)
+      .field_str("kernel_backend",
+                 linalg::kernel_backend_name(linalg::kernel_backend()))
+      .field_bool("kernel_native", linalg::kernel_native_build())
+      .field_bool("trace_enabled", obs::trace_enabled())
+      .field_uint("trace_events_recorded", obs::trace_events_recorded())
+      .field_uint("trace_events_dropped", obs::trace_events_dropped())
+      .str();
+}
+
+inline std::ofstream open_report(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  return out;
+}
+
+}  // namespace tpa::tools

@@ -1,0 +1,114 @@
+# Observability roundtrip: a distributed fault drill with --trace-out and
+# --metrics-out must produce a Chrome trace carrying per-worker
+# solve/reduce/broadcast spans plus crash/restart instants, and a run report
+# whose cluster.event.* counters agree with the fault log; a .csv trace-out
+# must produce the gap-vs-time table.
+execute_process(
+  COMMAND ${TRAIN_BIN} --generate webspam --examples 256 --features 512
+          --epochs 8 --target-gap 0 --workers 3
+          --crash-worker 1 --crash-epoch 3
+          --trace-out ${WORK_DIR}/drill_trace.json
+          --metrics-out ${WORK_DIR}/drill_metrics.jsonl
+  RESULT_VARIABLE drill_result
+  OUTPUT_VARIABLE drill_output
+  ERROR_VARIABLE drill_stderr)
+if(NOT drill_result EQUAL 0)
+  message(FATAL_ERROR "fault drill failed: ${drill_result}\n${drill_stderr}")
+endif()
+foreach(needle "fault log: 1 crashes, 1 restarts"
+        "Chrome trace" "written to" "run report written to")
+  string(FIND "${drill_output}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "drill output missing \"${needle}\":\n${drill_output}")
+  endif()
+endforeach()
+
+file(READ ${WORK_DIR}/drill_trace.json trace_json)
+foreach(needle "\"traceEvents\"" "dist/local_solve" "dist/reduce"
+        "dist/broadcast" "dist/straggler_wait" "dist/epoch"
+        "\"crash\"" "\"restart\"" "dist/worker 1" "dist/master"
+        "\"ph\": \"X\"" "\"ph\": \"i\"")
+  string(FIND "${trace_json}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "Chrome trace missing ${needle}")
+  endif()
+endforeach()
+
+file(READ ${WORK_DIR}/drill_metrics.jsonl metrics_jsonl)
+foreach(needle "\"type\": \"meta\"" "\"tool\": \"tpascd_train\""
+        "\"git_sha\"" "\"kernel_backend\"" "\"type\": \"point\""
+        "\"kind\": \"crash\"" "\"kind\": \"restart\""
+        "cluster.event.crash" "cluster.event.restart" "cluster.epochs"
+        "train.gap_evals")
+  string(FIND "${metrics_jsonl}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "run report missing ${needle}:\n${metrics_jsonl}")
+  endif()
+endforeach()
+# The drill injects exactly one crash and sees exactly one restart; the
+# counters must agree with the ConvergenceTrace event counts printed above.
+foreach(needle "\"name\": \"cluster.event.crash\", \"value\": 1"
+        "\"name\": \"cluster.event.restart\", \"value\": 1")
+  string(FIND "${metrics_jsonl}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "counter mismatch, expected ${needle}:\n${metrics_jsonl}")
+  endif()
+endforeach()
+
+# CSV convergence trace from a single-worker run.
+execute_process(
+  COMMAND ${TRAIN_BIN} --generate webspam --examples 256 --features 512
+          --epochs 5 --target-gap 0 --solver seq
+          --trace-out ${WORK_DIR}/gap_trace.csv
+  RESULT_VARIABLE csv_result
+  OUTPUT_VARIABLE csv_output
+  ERROR_VARIABLE csv_stderr)
+if(NOT csv_result EQUAL 0)
+  message(FATAL_ERROR "csv trace run failed: ${csv_result}\n${csv_stderr}")
+endif()
+file(READ ${WORK_DIR}/gap_trace.csv gap_csv)
+string(FIND "${gap_csv}" "epoch,gap,sim_seconds,wall_seconds,gamma,contributors"
+       header_found)
+if(header_found EQUAL -1)
+  message(FATAL_ERROR "csv trace missing header:\n${gap_csv}")
+endif()
+string(REGEX MATCHALL "\n5," final_row "${gap_csv}")
+if(final_row STREQUAL "")
+  message(FATAL_ERROR "csv trace missing epoch-5 row:\n${gap_csv}")
+endif()
+
+# Traced serve replay: batch/reload spans and the serving stats report.
+execute_process(
+  COMMAND ${TRAIN_BIN} --generate webspam --examples 256 --features 512
+          --epochs 5 --save ${WORK_DIR}/trace_model.tpam
+  RESULT_VARIABLE model_result)
+if(NOT model_result EQUAL 0)
+  message(FATAL_ERROR "model training failed: ${model_result}")
+endif()
+execute_process(
+  COMMAND ${SERVE_BIN} --model ${WORK_DIR}/trace_model.tpam
+          --generate webspam --examples 256 --features 512
+          --requests 2000 --batch 32 --threads 2
+          --trace-out ${WORK_DIR}/serve_trace.json
+          --metrics-out ${WORK_DIR}/serve_metrics.jsonl
+  RESULT_VARIABLE serve_result
+  OUTPUT_VARIABLE serve_output
+  ERROR_VARIABLE serve_stderr)
+if(NOT serve_result EQUAL 0)
+  message(FATAL_ERROR "traced serve failed: ${serve_result}\n${serve_stderr}")
+endif()
+file(READ ${WORK_DIR}/serve_trace.json serve_json)
+foreach(needle "serve/batch" "serve/reload")
+  string(FIND "${serve_json}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "serve trace missing ${needle}")
+  endif()
+endforeach()
+file(READ ${WORK_DIR}/serve_metrics.jsonl serve_report)
+foreach(needle "\"tool\": \"tpascd_serve\"" "\"type\": \"serve_stats\""
+        "\"completed\": 2000" "\"p99_us\"")
+  string(FIND "${serve_report}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "serve report missing ${needle}:\n${serve_report}")
+  endif()
+endforeach()

@@ -12,13 +12,18 @@
 //   tpascd_serve --model v1.tpam --reload v2.tpam --data traffic.svm
 #include <cstdio>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "data/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/scorer.hpp"
 #include "serve/server.hpp"
 #include "sparse/load.hpp"
+#include "run_report.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -74,9 +79,18 @@ int main(int argc, char** argv) {
   parser.add_option("wait-us", "max batching wait (microseconds)", "200");
   parser.add_option("queue", "admission queue capacity", "1024");
   parser.add_option("log-every", "log stats every N batches (0 = off)", "0");
+  parser.add_option("trace-out",
+                    "write a Chrome trace of serve/batch + serve/reload "
+                    "spans here (Perfetto-loadable JSON)");
+  parser.add_option("metrics-out",
+                    "write a JSONL run report here (build meta, serving "
+                    "stats, metric snapshot)");
   parser.add_option("log", "log level: debug|info|warn|error", "info");
   if (!parser.parse(argc, argv)) return 1;
   util::set_log_level(util::parse_log_level(parser.get_string("log", "info")));
+
+  const auto trace_out = parser.get_string("trace-out", "");
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
 
   if (!parser.has("model")) {
     std::fprintf(stderr, "error: --model is required\n%s",
@@ -162,6 +176,38 @@ int main(int argc, char** argv) {
     if (stats.throughput_rps <= 0.0 || stats.p99_us <= 0.0) {
       std::fprintf(stderr, "error: empty stats snapshot\n");
       return 1;
+    }
+
+    if (!trace_out.empty()) {
+      // The scoring pool has been drained, so the export sees quiesced
+      // rings (the tracer's contract).
+      obs::write_chrome_trace(trace_out);
+      std::printf("Chrome trace (%llu spans) written to %s\n",
+                  static_cast<unsigned long long>(
+                      obs::trace_events_recorded()),
+                  trace_out.c_str());
+    }
+    if (parser.has("metrics-out")) {
+      const auto path = parser.get_string("metrics-out", "");
+      auto out = tools::open_report(path);
+      out << tools::run_meta_json("tpascd_serve") << '\n';
+      out << obs::JsonObject()
+                 .field_str("type", "serve_stats")
+                 .field_uint("accepted", stats.accepted)
+                 .field_uint("rejected", stats.rejected)
+                 .field_uint("completed", stats.completed)
+                 .field_uint("batches", stats.batches)
+                 .field_uint("reloads", stats.reloads)
+                 .field_num("wall_seconds", stats.wall_seconds)
+                 .field_num("throughput_rps", stats.throughput_rps)
+                 .field_num("mean_batch_size", stats.mean_batch_size)
+                 .field_num("p50_us", stats.p50_us)
+                 .field_num("p95_us", stats.p95_us)
+                 .field_num("p99_us", stats.p99_us)
+                 .str()
+          << '\n';
+      obs::metrics().write_jsonl(out);
+      std::printf("run report written to %s\n", path.c_str());
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -17,6 +17,7 @@
 //                --stall-worker 2 --stall-factor 4        # fault drill
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "cluster/dist_solver.hpp"
 #include "core/convergence.hpp"
@@ -24,8 +25,11 @@
 #include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
 #include "data/generators.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "sparse/load.hpp"
 #include "sparse/matrix_stats.hpp"
+#include "run_report.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 
@@ -67,6 +71,11 @@ void report_metrics(const data::Dataset& dataset,
               core::rmse(predictions, dataset.labels()),
               core::r_squared(predictions, dataset.labels()),
               100.0 * core::sign_accuracy(predictions, dataset.labels()));
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -119,9 +128,22 @@ int main(int argc, char** argv) {
                     "1.5");
   parser.add_option("max-restarts", "crashes before a worker is evicted",
                     "3");
+  parser.add_option("trace-out",
+                    "write a trace here: .json = Chrome trace of spans "
+                    "(Perfetto-loadable), .csv/.jsonl = gap-vs-time "
+                    "convergence trace");
+  parser.add_option("metrics-out",
+                    "write a JSONL run report here (build meta, trace "
+                    "points, cluster events, metric snapshot)");
   parser.add_option("log", "log level: debug|info|warn|error", "warn");
   if (!parser.parse(argc, argv)) return 1;
   util::set_log_level(util::parse_log_level(parser.get_string("log", "warn")));
+
+  // Span recording must be live before any solver runs.  TPA_TRACE=1 in the
+  // environment enables it too (see obs/trace.hpp).
+  const auto trace_out = parser.get_string("trace-out", "");
+  const bool chrome_trace = ends_with(trace_out, ".json");
+  if (chrome_trace) obs::set_trace_enabled(true);
 
   try {
     const auto dataset = load_dataset(parser);
@@ -179,6 +201,7 @@ int main(int argc, char** argv) {
     core::SavedModel model;
     model.formulation = formulation;
     model.lambda = lambda;
+    core::ConvergenceTrace trace;
 
     if (resuming && workers <= 1) {
       throw std::invalid_argument(
@@ -223,7 +246,7 @@ int main(int argc, char** argv) {
       ckpt.every_epochs =
           static_cast<int>(parser.get_int("checkpoint-every", 0));
       ckpt.path = parser.get_string("checkpoint", "tpascd.ckpt");
-      const auto trace = cluster::run_distributed(solver, run_options, ckpt);
+      trace = cluster::run_distributed(solver, run_options, ckpt);
       std::printf("trained %d epochs across %d workers (%s): gap %.3e, "
                   "simulated %.3f s\n",
                   trace.points().back().epoch, workers,
@@ -245,7 +268,7 @@ int main(int argc, char** argv) {
       model.shared = solver.global_shared();
     } else {
       const auto solver = core::make_solver(problem, solver_config);
-      const auto trace = core::run_solver(*solver, problem, run_options);
+      trace = core::run_solver(*solver, problem, run_options);
       std::printf("trained %d epochs with %s: gap %.3e, simulated %.3f s\n",
                   trace.points().back().epoch, solver->name().c_str(),
                   trace.final_gap(), trace.points().back().sim_seconds);
@@ -262,6 +285,30 @@ int main(int argc, char** argv) {
       const auto path = parser.get_string("save", "");
       core::write_model_file(path, model);
       std::printf("model saved to %s\n", path.c_str());
+    }
+
+    if (!trace_out.empty()) {
+      if (chrome_trace) {
+        obs::write_chrome_trace(trace_out);
+        std::printf("Chrome trace (%llu spans) written to %s\n",
+                    static_cast<unsigned long long>(
+                        obs::trace_events_recorded()),
+                    trace_out.c_str());
+      } else if (ends_with(trace_out, ".csv")) {
+        trace.write_csv_file(trace_out);
+        std::printf("convergence trace written to %s\n", trace_out.c_str());
+      } else {
+        trace.write_jsonl_file(trace_out);
+        std::printf("convergence trace written to %s\n", trace_out.c_str());
+      }
+    }
+    if (parser.has("metrics-out")) {
+      const auto path = parser.get_string("metrics-out", "");
+      auto out = tools::open_report(path);
+      out << tools::run_meta_json("tpascd_train") << '\n';
+      trace.write_jsonl(out);
+      obs::metrics().write_jsonl(out);
+      std::printf("run report written to %s\n", path.c_str());
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
