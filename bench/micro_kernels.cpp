@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/convergence.hpp"
+#include "core/replica_set.hpp"
 #include "core/round_engine.hpp"
 #include "core/seq_scd.hpp"
 #include "core/threaded_scd.hpp"
@@ -165,6 +166,49 @@ BENCHMARK(BM_ParallelForScheduling)
     ->Arg(64)     // explicit medium grain
     ->Arg(0)      // after: one chunk per worker
     ->ArgName("grain");
+
+// Round-trip latency of one tiny parallel_for round, repeated back to back —
+// the dispatch pattern the replicated solver's merge intervals produce.  The
+// argument is the pool's spin budget: 0 parks on the condition variable
+// immediately (futex sleep/wake per round); the spin-then-park budget keeps
+// workers hot between rounds.
+void BM_PoolWakeup(benchmark::State& state) {
+  util::ThreadPool pool(4, static_cast<std::size_t>(state.range(0)));
+  std::vector<float> out(256, 0.0F);
+  for (auto _ : state) {
+    pool.parallel_for(
+        out.size(),
+        [&out](std::size_t i) { out[i] += 1.0F; },
+        out.size() / pool.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PoolWakeup)
+    ->Arg(0)      // park immediately
+    ->Arg(2048)   // spin-then-park (the multi-core default budget)
+    ->ArgName("spin");
+
+// ReplicaSet::merge_into: fused diff-add of every replica against the
+// pre-round base plus the replica reseed.  The argument is the replica
+// count; per-merge cost should scale as (replicas + 1) dense passes.
+void BM_ReplicaMerge(benchmark::State& state) {
+  const std::size_t dim = 1 << 16;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  core::ReplicaSet replicas;
+  replicas.configure(dim, count);
+  std::vector<float> global(dim, 0.5F);
+  replicas.reset_from(global);
+  for (auto _ : state) {
+    replicas.merge_into(global);
+    benchmark::DoNotOptimize(global.data());
+  }
+  state.counters["entries/s"] = benchmark::Counter(
+      static_cast<double>(dim * count) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplicaMerge)->Arg(1)->Arg(4)->Arg(8)->ArgName("replicas");
 
 // The serving scorer's whole-matrix path: chunked parallel_for over rows.
 void BM_ScoreMatrix(benchmark::State& state) {

@@ -223,6 +223,18 @@ int run(int argc, char** argv) {
                       {{"threads", static_cast<double>(threads)}}});
     std::printf("threaded_epoch (pooled)  %.4fs with %d threads\n", pooled_s,
                 threads);
+
+    // Replicated write-back: private per-thread replicas with periodic
+    // merges, executed serially or on the pool as the cost model decides.
+    core::ThreadedScdSolver replicated(problem, core::Formulation::kDual,
+                                       threads, core::CommitPolicy::kReplicated,
+                                       7);
+    const double rep_s = best_of(trials, [&] { replicated.run_epoch(); });
+    epochs.push_back({"threaded_epoch/replicated", rep_s, "seconds",
+                      {{"threads", static_cast<double>(threads)},
+                       {"speedup_vs_atomic", pooled_s / rep_s}}});
+    std::printf("threaded_epoch (replic.) %.4fs with %d threads (%.2fx vs "
+                "atomic)\n", rep_s, threads, pooled_s / rep_s);
   }
 
   {

@@ -537,6 +537,12 @@ double DistributedSolver::duality_gap(util::ThreadPool* pool) const {
                                      pool);
 }
 
+void DistributedSolver::set_merge_every(int merge_every) {
+  for (auto& worker : workers_) {
+    worker->solver->set_merge_every(merge_every);
+  }
+}
+
 double DistributedSolver::setup_sim_seconds() const {
   double slowest = 0.0;
   for (const auto& worker : workers_) {
@@ -652,10 +658,17 @@ core::ConvergenceTrace run_distributed(DistributedSolver& solver,
   std::size_t seen_events = solver.events().size();
   int last_checkpointed = start_epoch;
   const int interval = core::effective_gap_interval(options);
+  if (options.merge_every != 0) {
+    solver.set_merge_every(options.merge_every);
+  }
+  // Same crossover as run_solver: only pay for a pool when the global gap
+  // evaluation is predicted to beat the serial pass on this host.
+  const int gap_threads = core::pool_dispatch().dispatch_threads(
+      solver.global_problem().dataset().nnz(), options.gap_threads);
   std::unique_ptr<util::ThreadPool> gap_pool;
-  if (options.gap_threads > 1) {
+  if (gap_threads > 1) {
     gap_pool = std::make_unique<util::ThreadPool>(
-        static_cast<std::size_t>(options.gap_threads));
+        static_cast<std::size_t>(gap_threads));
   }
   for (int epoch = start_epoch + 1; epoch <= options.max_epochs; ++epoch) {
     const auto report = solver.run_epoch();

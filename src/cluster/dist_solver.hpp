@@ -122,6 +122,10 @@ class DistributedSolver {
   /// parallelises the evaluation (see core::RidgeProblem::duality_gap).
   double duality_gap(util::ThreadPool* pool = nullptr) const;
 
+  /// Forwards a replica-merge interval to every worker's local solver
+  /// (core::Solver::set_merge_every; no-op for non-replicated locals).
+  void set_merge_every(int merge_every);
+
   /// γ used by the most recent epoch (1/contributors under averaging; 0 for
   /// an epoch in which no worker's delta landed).
   double last_gamma() const noexcept { return last_gamma_; }

@@ -22,8 +22,10 @@ AsyncScdSolver::AsyncScdSolver(const RidgeProblem& problem, Formulation f,
   if (threads <= 0) {
     throw std::invalid_argument("AsyncScdSolver: threads must be positive");
   }
-  const char* base =
-      policy == CommitPolicy::kAtomicAdd ? "A-SCD" : "PASSCoDe-Wild";
+  const char* base = policy == CommitPolicy::kAtomicAdd ? "A-SCD"
+                     : policy == CommitPolicy::kLastWriterWins
+                         ? "PASSCoDe-Wild"
+                         : "Replicated-SCD";
   name_ = std::string(base) + " (" + std::to_string(threads) + " threads)";
 }
 
@@ -35,19 +37,30 @@ EpochReport AsyncScdSolver::run_epoch() {
   }();
   const auto stats = [&] {
     obs::TraceSpan sweep("async_scd/sweep");
-    return engine_.run_epoch(
-        order,
-        [this](sparse::Index j, std::span<const float> shared) {
-          return problem_->coordinate_delta(formulation_, j, shared,
-                                            state_.weights[j]);
-        },
-        [this](sparse::Index j) {
-          return problem_->coordinate_vector(formulation_, j);
-        },
-        [this](sparse::Index j, double delta) {
-          state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
-        },
-        state_.shared);
+    const auto compute = [this](sparse::Index j,
+                                std::span<const float> shared) {
+      return problem_->coordinate_delta(formulation_, j, shared,
+                                        state_.weights[j]);
+    };
+    const auto vec_of = [this](sparse::Index j) {
+      return problem_->coordinate_vector(formulation_, j);
+    };
+    const auto apply_weight = [this](sparse::Index j, double delta) {
+      state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
+    };
+    if (policy_ == CommitPolicy::kReplicated) {
+      const auto coords = problem_->num_coordinates(formulation_);
+      const int interval =
+          merge_every_ > 0
+              ? merge_every_
+              : replica_auto_interval(problem_->dataset().nnz(), coords,
+                                      state_.shared.size(), threads_);
+      return engine_.run_epoch_replicated(
+          order, compute, vec_of, apply_weight, state_.shared, replicas_,
+          interval, replica_damping(coords, threads_, interval));
+    }
+    return engine_.run_epoch(order, compute, vec_of, apply_weight,
+                             state_.shared);
   }();
   lost_updates_ += stats.lost_entries;
   ++epochs_run_;
@@ -56,7 +69,9 @@ EpochReport AsyncScdSolver::run_epoch() {
   report.coordinate_updates = order.size();
   const double speedup = policy_ == CommitPolicy::kAtomicAdd
                              ? cost_model_.atomic_speedup(threads_)
-                             : cost_model_.wild_speedup(threads_);
+                         : policy_ == CommitPolicy::kLastWriterWins
+                             ? cost_model_.wild_speedup(threads_)
+                             : cost_model_.replicated_speedup(threads_);
   report.sim_seconds =
       cost_model_.epoch_seconds_sequential(workload_) / speedup;
 

@@ -33,6 +33,12 @@ class AsyncScdSolver : public Solver {
     permutation_.skip(epochs);
   }
 
+  /// Replicated path only: updates per lane between merges (0 = automatic,
+  /// core::replica_merge_interval).  Ignored by the atomic/wild policies.
+  void set_merge_every(int merge_every) override {
+    merge_every_ = merge_every;
+  }
+
   /// Cumulative shared-vector adds lost to races (zero for atomic commits).
   std::uint64_t total_lost_updates() const noexcept { return lost_updates_; }
 
@@ -52,10 +58,12 @@ class AsyncScdSolver : public Solver {
   ModelState state_;
   util::EpochPermutation permutation_;
   AsyncEngine engine_;
+  ReplicaSet replicas_;  // storage persists across epochs (kReplicated only)
   CpuCostModel cost_model_;
   TimingWorkload workload_;
   std::uint64_t lost_updates_ = 0;
   int recompute_interval_ = 0;
+  int merge_every_ = 0;  // 0 = automatic interval
   int epochs_run_ = 0;
 };
 
@@ -75,6 +83,17 @@ class PasscodeWildSolver final : public AsyncScdSolver {
                      std::uint64_t seed, CpuCostModel cost_model = {})
       : AsyncScdSolver(problem, f, threads, CommitPolicy::kLastWriterWins,
                        seed, cost_model) {}
+};
+
+/// Replicated SCD (SySCD-style): per-lane replicas with periodic merge —
+/// contention-free plain stores, staleness bounded by the merge interval
+/// (replica_set.hpp, DESIGN.md §11).
+class ReplicatedScdSolver final : public AsyncScdSolver {
+ public:
+  ReplicatedScdSolver(const RidgeProblem& problem, Formulation f, int threads,
+                      std::uint64_t seed, CpuCostModel cost_model = {})
+      : AsyncScdSolver(problem, f, threads, CommitPolicy::kReplicated, seed,
+                       cost_model) {}
 };
 
 }  // namespace tpa::core

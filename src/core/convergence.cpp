@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/cost_model.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
@@ -134,10 +135,17 @@ ConvergenceTrace run_solver(Solver& solver, const RidgeProblem& problem,
       options.include_setup_time ? solver.setup_sim_seconds() : 0.0;
   double wall_total = 0.0;
   const int interval = effective_gap_interval(options);
+  if (options.merge_every != 0) solver.set_merge_every(options.merge_every);
+  // A gap evaluation streams the matrix once (one entry-visit per stored
+  // nonzero) plus the dense vector terms; only build a pool when the cost
+  // model predicts the requested workers actually beat the serial pass on
+  // this host — otherwise the pooled gap regresses on small problems.
+  const int gap_threads = pool_dispatch().dispatch_threads(
+      problem.dataset().nnz(), options.gap_threads);
   std::unique_ptr<util::ThreadPool> gap_pool;
-  if (options.gap_threads > 1) {
+  if (gap_threads > 1) {
     gap_pool = std::make_unique<util::ThreadPool>(
-        static_cast<std::size_t>(options.gap_threads));
+        static_cast<std::size_t>(gap_threads));
   }
   auto& epoch_counter = obs::metrics().counter("train.epochs");
   auto& gap_counter = obs::metrics().counter("train.gap_evals");

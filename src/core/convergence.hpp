@@ -102,8 +102,17 @@ struct RunOptions {
   int gap_every = 0;
   /// Workers used for each gap evaluation (1 = serial).  The parallel value
   /// is deterministic for any thread count but may differ from the serial
-  /// one by reduction reassociation (DESIGN.md §9).
+  /// one by reduction reassociation (DESIGN.md §9).  run_solver consults
+  /// core::pool_dispatch() before building the pool: when the problem is too
+  /// small for the requested workers to beat the serial pass (or the host
+  /// lacks the cores), the evaluation runs serially — requesting threads is
+  /// a ceiling, not a command.
   int gap_threads = 1;
+  /// Replica-merge interval for solvers with a replicated shared vector
+  /// (updates per worker between merges): 0 keeps the solver's automatic
+  /// choice; forwarded via Solver::set_merge_every otherwise (no-op for
+  /// non-replicated solvers).  DESIGN.md §11.
+  int merge_every = 0;
   /// Include the solver's one-time setup (GPU upload) in cumulative time.
   bool include_setup_time = true;
 };

@@ -45,6 +45,11 @@ struct CpuCostModel {
   double atomic_speedup_at_16 = 2.0;
   double wild_speedup_at_16 = 4.0;
 
+  /// Speed-up of the replicated (SySCD-style) implementation at 16 threads:
+  /// plain stores into private replicas scale near-linearly, paying only the
+  /// periodic merge, unlike the atomic (2x) and wild (4x) ceilings.
+  double replicated_speedup_at_16 = 13.0;
+
   /// Sequential SCD epoch time (picks the cached or uncached per-entry cost
   /// from the workload's shared-vector size).
   double epoch_seconds_sequential(const TimingWorkload& w) const noexcept;
@@ -53,9 +58,84 @@ struct CpuCostModel {
   double atomic_speedup(int threads) const noexcept;
   /// Speed-up of the wild asynchronous implementation at `threads`.
   double wild_speedup(int threads) const noexcept;
+  /// Speed-up of the replicated implementation at `threads` (linear
+  /// interpolation to the 16-thread figure — replication removes the
+  /// write-back serialisation that makes the other two curves logarithmic).
+  double replicated_speedup(int threads) const noexcept;
 
   /// Host-side vector arithmetic (deltas, scalar reductions) per element.
   double seconds_per_vector_element = 1.0e-9;
 };
+
+/// Wall-clock dispatch model for the *host* thread pool: decides when pooled
+/// execution of a parallelisable pass beats running it serially on the
+/// calling thread.  Unlike CpuCostModel — which prices the paper's hardware
+/// for the simulated time axis — this model prices this machine: the
+/// measured wake/join overhead of a pool round trip against the pass's
+/// entry count, and the host's real core count.  Requesting N pool workers
+/// buys at most hardware_concurrency-way progress, so on a single-core host
+/// the crossover is infinite and every pass runs serially — the structural
+/// fix for pooled paths losing to serial on small problems.
+struct PoolDispatchModel {
+  /// Fixed cost of one parallel_for_chunks round trip (wake + join).
+  double dispatch_seconds = 20e-6;
+  /// Marginal cost per enqueued chunk (queue push + claim).
+  double per_chunk_seconds = 2e-6;
+  /// Serial streaming throughput of the sparse passes on the host.
+  double seconds_per_entry = 2.0e-9;
+  /// Hardware threads to assume; 0 = std::thread::hardware_concurrency().
+  /// Tests and benches override this to force either path.
+  int hardware_threads = 0;
+
+  /// Concurrency actually attainable for `requested` pool workers.
+  int effective_threads(int requested) const noexcept;
+
+  /// True when dispatching `work_entries` entries across `threads` pool
+  /// workers is predicted to beat the serial pass.
+  bool use_pool(std::uint64_t work_entries, int threads) const noexcept;
+
+  /// The worker count a driver should actually use: `requested` when the
+  /// pool is predicted to win on this problem, else 1 (serial).
+  int dispatch_threads(std::uint64_t work_entries,
+                       int requested) const noexcept;
+};
+
+/// Process-wide dispatch model consulted by run_solver, ThreadedScdSolver
+/// and RidgeProblem's pooled passes.  Settable for tests and calibration.
+const PoolDispatchModel& pool_dispatch() noexcept;
+void set_pool_dispatch(const PoolDispatchModel& model) noexcept;
+
+/// Cost-optimal updates per thread between replica merges: the largest
+/// staleness that keeps merge traffic — (3·threads+2) dense passes over
+/// `shared_dim` per merge — under ~10% of the update traffic between merges
+/// (2·nnz/num_coordinates entries per update).  Clamped to [1, 2^20].  This
+/// is a pure throughput figure; it ignores convergence.  The solvers use
+/// replica_auto_interval, which also caps staleness.
+int replica_merge_interval(std::uint64_t nnz, std::uint64_t num_coordinates,
+                           std::uint64_t shared_dim, int threads) noexcept;
+
+/// Largest merge interval whose *concurrent staleness* — the
+/// (threads−1)·interval updates by other workers that a worker cannot see —
+/// stays within the empirically safe budget of ~1/64 of the coordinates.
+/// Beyond roughly 3% the bulk-synchronous merge over-applies correlated
+/// deltas and SCD diverges (DESIGN.md §11); 1/64 keeps a 2x margin.
+int replica_safe_interval(std::uint64_t num_coordinates, int threads) noexcept;
+
+/// Updates per worker between merges when RunOptions::merge_every is 0
+/// (auto): the cost-optimal interval, capped at the convergence-safe one.
+/// Callers additionally clamp to their slice length.
+int replica_auto_interval(std::uint64_t nnz, std::uint64_t num_coordinates,
+                          std::uint64_t shared_dim, int threads) noexcept;
+
+/// Under-relaxation factor θ ∈ (0, 1] applied to every update delta in the
+/// replicated paths.  θ = 1 whenever the concurrent staleness
+/// (threads−1)·interval is within the safe budget — so auto-interval runs,
+/// single-worker runs, and merge_every=1 equivalence gates are untouched —
+/// and scales as budget/staleness beyond it, keeping the aggregate parallel
+/// step mass at the stable level instead of letting a user-forced large
+/// interval diverge.  The price of a large interval is then slower progress
+/// per epoch, never a blow-up.
+double replica_damping(std::uint64_t num_coordinates, int threads,
+                       int interval) noexcept;
 
 }  // namespace tpa::core

@@ -1,0 +1,60 @@
+#include "core/replica_set.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "linalg/vector_ops.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace tpa::core {
+namespace {
+
+constexpr std::size_t kFloatsPerLine =
+    util::kCacheLineBytes / sizeof(float);  // 16
+
+std::size_t padded_stride(std::size_t dim) {
+  return (dim + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+}
+
+}  // namespace
+
+void ReplicaSet::configure(std::size_t dim, int count) {
+  assert(count >= 1);
+  const std::size_t stride = padded_stride(dim);
+  if (dim == dim_ && count == count_) return;
+  dim_ = dim;
+  stride_ = stride;
+  count_ = count;
+  // Zero-fill the pad tail once; merges only ever touch [0, dim) per slot.
+  storage_.assign(stride * static_cast<std::size_t>(count + 1), 0.0F);
+}
+
+void ReplicaSet::reset_from(std::span<const float> global) {
+  assert(global.size() == dim_);
+  float* slot = storage_.data();
+  for (int r = 0; r <= count_; ++r, slot += stride_) {
+    std::memcpy(slot, global.data(), dim_ * sizeof(float));
+  }
+}
+
+void ReplicaSet::merge_into(std::span<float> global) {
+  assert(global.size() == dim_);
+  obs::TraceSpan span("replica/merge");
+  static obs::Counter& merges = obs::metrics().counter("solver.merges");
+  merges.add(1);
+  if (count_ == 1) {
+    // One replica owns every coordinate: the merged vector *is* the replica.
+    // Copying it verbatim (rather than folding w + (r − w), which is not
+    // exactly r in float) keeps the merge_every=1 single-thread path
+    // bit-exact against the sequential solver.
+    std::memcpy(global.data(), replica(0).data(), dim_ * sizeof(float));
+  } else {
+    for (int r = 0; r < count_; ++r) {
+      linalg::add_diff(global, replica(r), base());
+    }
+  }
+  reset_from(global);
+}
+
+}  // namespace tpa::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/cost_model.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/thread_pool.hpp"
 
@@ -37,9 +38,16 @@ double chunked_sum(util::ThreadPool& pool, std::size_t count,
 }
 
 // A pool with a single worker would add scheduling cost without splitting
-// any work; treat it as the serial path.
-util::ThreadPool* effective_pool(util::ThreadPool* pool) {
-  return (pool != nullptr && pool->size() > 1) ? pool : nullptr;
+// any work, and so would any pool the dispatch model predicts to lose on
+// `work_entries` entries (too little work, or fewer hardware cores than
+// workers); both degrade to the serial path.
+util::ThreadPool* effective_pool(util::ThreadPool* pool,
+                                 std::uint64_t work_entries) {
+  if (pool == nullptr || pool->size() <= 1) return nullptr;
+  return pool_dispatch().use_pool(work_entries,
+                                  static_cast<int>(pool->size()))
+             ? pool
+             : nullptr;
 }
 
 }  // namespace
@@ -106,7 +114,7 @@ double RidgeProblem::primal_objective(std::span<const float> beta,
                                       util::ThreadPool* pool) const {
   const auto n = static_cast<double>(effective_examples());
   const auto labels = dataset_->labels();
-  if (util::ThreadPool* p = effective_pool(pool)) {
+  if (util::ThreadPool* p = effective_pool(pool, w.size() + beta.size())) {
     const double residual_sq =
         chunked_sum(*p, w.size(), [&](std::size_t b, std::size_t e) {
           double acc = 0.0;
@@ -136,7 +144,8 @@ double RidgeProblem::dual_objective(std::span<const float> alpha,
                                     util::ThreadPool* pool) const {
   const auto n = static_cast<double>(effective_examples());
   const auto labels = dataset_->labels();
-  if (util::ThreadPool* p = effective_pool(pool)) {
+  if (util::ThreadPool* p =
+          effective_pool(pool, 2 * alpha.size() + wbar.size())) {
     const double alpha_sq =
         chunked_sum(*p, alpha.size(), [&](std::size_t b, std::size_t e) {
           return linalg::dot(alpha.subspan(b, e - b), alpha.subspan(b, e - b));
@@ -168,7 +177,8 @@ double RidgeProblem::primal_duality_gap(std::span<const float> beta,
                                         std::span<const float> w,
                                         util::ThreadPool* pool) const {
   // Candidate dual point from eq. (6): α = (y − w)/N, then w̄ = Aᵀα.
-  util::ThreadPool* p = effective_pool(pool);
+  // Work is dominated by the matvec — one visit per stored nonzero.
+  util::ThreadPool* p = effective_pool(pool, dataset_->nnz());
   const auto alpha = dual_from_primal_shared(w);
   std::vector<float> wbar(static_cast<std::size_t>(num_features()));
   if (p != nullptr) {
@@ -186,7 +196,7 @@ double RidgeProblem::dual_duality_gap(std::span<const float> alpha,
                                       std::span<const float> wbar,
                                       util::ThreadPool* pool) const {
   // Candidate primal point from eq. (5): β = w̄/λ, then w = Aβ.
-  util::ThreadPool* p = effective_pool(pool);
+  util::ThreadPool* p = effective_pool(pool, dataset_->nnz());
   const auto beta = primal_from_dual_shared(wbar);
   std::vector<float> w(static_cast<std::size_t>(num_examples()));
   // Per-row dots: serial and pooled schedules produce identical values.

@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "core/replica_set.hpp"
 #include "sparse/csr.hpp"
 
 namespace tpa::core {
@@ -40,6 +41,7 @@ namespace tpa::core {
 enum class CommitPolicy {
   kAtomicAdd,        // every lane's update lands (A-SCD, TPA-SCD)
   kLastWriterWins,   // racing read-modify-writes lose updates (Wild)
+  kReplicated,       // plain stores into per-lane replicas, periodic merge
 };
 
 struct AsyncEngineStats {
@@ -69,11 +71,32 @@ class AsyncEngine {
 
   /// Runs one epoch over `order` (a permutation of the coordinates),
   /// mutating `shared` in place; all in-flight updates are drained before
-  /// returning.
+  /// returning.  Requires policy kAtomicAdd or kLastWriterWins — the
+  /// replicated pipeline lives in run_epoch_replicated.
   AsyncEngineStats run_epoch(std::span<const std::uint32_t> order,
                              const ComputeFn& compute, const VectorFn& vec_of,
                              const WeightFn& apply_weight,
                              std::span<float> shared);
+
+  /// Replicated (SySCD-style) variant of the same pipeline: lane p % window
+  /// computes against and scatters into its own replica with plain stores —
+  /// no commit ring, no per-entry races — and all replicas are folded into
+  /// `shared` every window × merge_every updates (and once more at epoch
+  /// end).  Staleness is bounded by the merge interval instead of the
+  /// in-flight window; with window == 1 and merge_every == 1 this is
+  /// bit-exact sequential SCD.  `replicas` is caller-owned so its storage
+  /// persists across epochs; it is (re)configured and reseeded from `shared`
+  /// here.  merge_every must be positive.  `damping` ∈ (0, 1] under-relaxes
+  /// every update delta (weights and shared together) — callers pass
+  /// core::replica_damping so large merge intervals slow down instead of
+  /// diverging; 1.0 (the exact coordinate step) within the safe budget.
+  AsyncEngineStats run_epoch_replicated(std::span<const std::uint32_t> order,
+                                        const ComputeFn& compute,
+                                        const VectorFn& vec_of,
+                                        const WeightFn& apply_weight,
+                                        std::span<float> shared,
+                                        ReplicaSet& replicas, int merge_every,
+                                        double damping = 1.0);
 
  private:
   struct PendingUpdate {

@@ -36,6 +36,12 @@ class Solver {
   /// memory); zero for CPU solvers.
   virtual double setup_sim_seconds() const { return 0.0; }
 
+  /// Replica-merge interval for solvers with a replicated shared vector:
+  /// updates per lane between merges; 0 restores the solver's automatic
+  /// choice (core::replica_merge_interval).  No-op for solvers without a
+  /// replicated path.
+  virtual void set_merge_every(int merge_every) { (void)merge_every; }
+
   /// Advances the solver's per-epoch randomness (the coordinate
   /// permutation stream) past `epochs` epochs without doing any work.  The
   /// distributed engine calls this for workers that sit an epoch out

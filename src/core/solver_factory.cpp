@@ -11,6 +11,10 @@ namespace tpa::core {
 
 std::unique_ptr<Solver> make_solver(const RidgeProblem& problem,
                                     const SolverConfig& config) {
+  auto with_merge = [&config](std::unique_ptr<Solver> solver) {
+    if (config.merge_every != 0) solver->set_merge_every(config.merge_every);
+    return solver;
+  };
   switch (config.kind) {
     case SolverKind::kSequential:
       return std::make_unique<SeqScdSolver>(problem, config.formulation,
@@ -23,6 +27,10 @@ std::unique_ptr<Solver> make_solver(const RidgeProblem& problem,
       return std::make_unique<PasscodeWildSolver>(
           problem, config.formulation, config.threads, config.seed,
           config.cpu_cost);
+    case SolverKind::kAsyncReplicated:
+      return with_merge(std::make_unique<ReplicatedScdSolver>(
+          problem, config.formulation, config.threads, config.seed,
+          config.cpu_cost));
     case SolverKind::kThreadedAtomic:
       return std::make_unique<ThreadedScdSolver>(
           problem, config.formulation, config.threads,
@@ -31,6 +39,10 @@ std::unique_ptr<Solver> make_solver(const RidgeProblem& problem,
       return std::make_unique<ThreadedScdSolver>(
           problem, config.formulation, config.threads,
           CommitPolicy::kLastWriterWins, config.seed, config.cpu_cost);
+    case SolverKind::kThreadedReplicated:
+      return with_merge(std::make_unique<ThreadedScdSolver>(
+          problem, config.formulation, config.threads,
+          CommitPolicy::kReplicated, config.seed, config.cpu_cost));
     case SolverKind::kTpaM4000: {
       TpaScdOptions options;
       options.device = gpusim::DeviceSpec::quadro_m4000();
@@ -53,8 +65,10 @@ SolverKind parse_solver_kind(const std::string& name) {
   if (name == "seq") return SolverKind::kSequential;
   if (name == "ascd") return SolverKind::kAsyncAtomic;
   if (name == "wild") return SolverKind::kAsyncWild;
+  if (name == "rep") return SolverKind::kAsyncReplicated;
   if (name == "ascd-threads") return SolverKind::kThreadedAtomic;
   if (name == "wild-threads") return SolverKind::kThreadedWild;
+  if (name == "rep-threads") return SolverKind::kThreadedReplicated;
   if (name == "tpa-m4000") return SolverKind::kTpaM4000;
   if (name == "tpa-titanx") return SolverKind::kTpaTitanX;
   throw std::invalid_argument("unknown solver kind: " + name);
@@ -68,10 +82,14 @@ const char* solver_kind_name(SolverKind kind) {
       return "ascd";
     case SolverKind::kAsyncWild:
       return "wild";
+    case SolverKind::kAsyncReplicated:
+      return "rep";
     case SolverKind::kThreadedAtomic:
       return "ascd-threads";
     case SolverKind::kThreadedWild:
       return "wild-threads";
+    case SolverKind::kThreadedReplicated:
+      return "rep-threads";
     case SolverKind::kTpaM4000:
       return "tpa-m4000";
     case SolverKind::kTpaTitanX:

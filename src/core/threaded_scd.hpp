@@ -4,10 +4,21 @@
 // fetch_add for the atomic variant and plain unsynchronised read-modify-
 // write for the wild variant.
 //
-// On genuinely parallel hardware this exhibits the paper's staleness and
-// lost-update behaviour natively; on the single-core CI machine races are
-// rare and results are near-sequential, which is why the deterministic
-// AsyncEngine solvers are the default for experiments (DESIGN.md §2).
+// The kReplicated policy removes the shared-vector contention entirely:
+// each worker updates a private cache-line-aligned replica with plain
+// stores (replica_set.hpp) and the replicas are folded into the global
+// vector every merge_every updates per thread, at a pool barrier.  Because
+// workers own disjoint coordinate slices and read only their replica, the
+// result is independent of the physical schedule — pooled and inline
+// execution are bit-identical, so run_epoch dispatches through
+// core::pool_dispatch() and small problems skip the pool entirely
+// (DESIGN.md §11).
+//
+// On genuinely parallel hardware the atomic/wild policies exhibit the
+// paper's staleness and lost-update behaviour natively; on the single-core
+// CI machine races are rare and results are near-sequential, which is why
+// the deterministic AsyncEngine solvers are the default for experiments
+// (DESIGN.md §2).
 #pragma once
 
 #include <atomic>
@@ -36,8 +47,19 @@ class ThreadedScdSolver final : public Solver {
     permutation_.skip(epochs);
   }
 
+  /// Replicated policy only: updates per thread between merges (0 =
+  /// automatic, core::replica_auto_interval).  Intervals beyond the safe
+  /// staleness budget run under-relaxed (core::replica_damping) rather than
+  /// diverging.  Ignored by atomic/wild.
+  void set_merge_every(int merge_every) override {
+    merge_every_ = merge_every;
+  }
+
  private:
   void worker_pass(std::span<const std::uint32_t> coords);
+  void worker_pass_replicated(std::span<const std::uint32_t> coords,
+                              std::span<float> replica, double damping);
+  EpochReport run_epoch_replicated(std::span<const std::uint32_t> order);
 
   const RidgeProblem* problem_;
   Formulation formulation_;
@@ -48,6 +70,8 @@ class ThreadedScdSolver final : public Solver {
   util::EpochPermutation permutation_;
   CpuCostModel cost_model_;
   TimingWorkload workload_;
+  ReplicaSet replicas_;  // storage persists across epochs (kReplicated only)
+  int merge_every_ = 0;  // 0 = automatic interval
   // Persistent workers reused across epochs: run_epoch schedules the same
   // static coordinate partition onto this pool instead of spawning (and
   // joining) `threads_` fresh std::threads every epoch.

@@ -64,11 +64,10 @@ EpochReport TpaScdSolver::run_epoch() {
   const double lambda = problem_->lambda();
 
   obs::TraceSpan sweep("tpa_scd/sweep");
-  engine_.run_epoch(
-      order,
-      // The thread-block body of Algorithm 2: strided partial inner product
-      // in 32-bit floats, shared-memory tree reduction, then thread 0's
-      // closed-form delta.
+  // The thread-block body of Algorithm 2: strided partial inner product
+  // in 32-bit floats, shared-memory tree reduction, then thread 0's
+  // closed-form delta.
+  const AsyncEngine::ComputeFn compute =
       [&](sparse::Index j, std::span<const float> shared) {
         const auto vec = problem_->coordinate_vector(formulation_, j);
         const double norm_sq =
@@ -89,14 +88,30 @@ EpochReport TpaScdSolver::run_epoch() {
         return (lambda * labels[j] - dot -
                 lambda * n * state_.weights[j]) /
                (lambda * n + norm_sq);
-      },
-      [this](sparse::Index j) {
-        return problem_->coordinate_vector(formulation_, j);
-      },
-      [this](sparse::Index j, double delta) {
-        state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
-      },
-      state_.shared);
+      };
+  const AsyncEngine::VectorFn vec_of = [this](sparse::Index j) {
+    return problem_->coordinate_vector(formulation_, j);
+  };
+  const AsyncEngine::WeightFn apply_weight = [this](sparse::Index j,
+                                                    double delta) {
+    state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
+  };
+  if (options_.merge_every > 0) {
+    // Batched write-back: resident blocks scatter into per-lane replicas and
+    // the device folds them every merge_every updates per lane — the same
+    // delta-merge primitive the CPU replicated solvers use.  With hundreds
+    // of resident blocks the concurrent staleness is large even at
+    // merge_every=1, so the damping factor matters here more than on the
+    // CPU paths.
+    const auto coords = problem_->num_coordinates(formulation_);
+    engine_.run_epoch_replicated(
+        order, compute, vec_of, apply_weight, state_.shared, replicas_,
+        options_.merge_every,
+        replica_damping(coords, static_cast<int>(engine_.window()),
+                        options_.merge_every));
+  } else {
+    engine_.run_epoch(order, compute, vec_of, apply_weight, state_.shared);
+  }
 
   EpochReport report;
   report.coordinate_updates = order.size();

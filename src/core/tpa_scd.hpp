@@ -41,6 +41,12 @@ struct TpaScdOptions {
   /// to study how far block-level asynchrony can be pushed before
   /// convergence degrades.
   int async_window_override = 0;
+  /// 0 (default): every block commits its shared-vector update immediately
+  /// with hardware float atomics — the paper's write-back.  > 0: blocks
+  /// batch write-backs through the replica delta-merge primitive instead
+  /// (per-lane replicas folded every merge_every updates per lane), the
+  /// same code path the CPU replicated solvers use (replica_set.hpp).
+  int merge_every = 0;
 };
 
 class TpaScdSolver final : public Solver {
@@ -62,6 +68,13 @@ class TpaScdSolver final : public Solver {
     permutation_.skip(epochs);
   }
 
+  /// Switches between per-update atomic write-back (0, the default) and
+  /// batched write-back through the replica merge (> 0); see
+  /// TpaScdOptions::merge_every.
+  void set_merge_every(int merge_every) override {
+    options_.merge_every = merge_every;
+  }
+
   const gpusim::DeviceSpec& device() const noexcept { return options_.device; }
   const gpusim::DeviceMemory& device_memory() const noexcept {
     return memory_;
@@ -75,6 +88,7 @@ class TpaScdSolver final : public Solver {
   ModelState state_;
   util::EpochPermutation permutation_;
   AsyncEngine engine_;
+  ReplicaSet replicas_;  // batched write-back only (merge_every > 0)
   gpusim::BlockContext block_;
   gpusim::GpuTimingModel timing_;
   gpusim::DeviceMemory memory_;

@@ -149,6 +149,15 @@ void sparse_axpy(double alpha, const SparseVectorView& a,
   }
 }
 
+void add_diff(std::span<float> w, std::span<const float> replica,
+              std::span<const float> base) {
+  assert(replica.size() >= w.size() && base.size() >= w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(w[i] + (static_cast<double>(replica[i]) -
+                                      static_cast<double>(base[i])));
+  }
+}
+
 }  // namespace scalar
 
 // ---------------------------------------------------------------------------
@@ -365,6 +374,36 @@ void sparse_axpy(double alpha, const SparseVectorView& a,
   for (; k < n; ++k) {
     const auto i = idx[k];
     out[i] = static_cast<float>(out[i] + alpha * val[k]);
+  }
+}
+
+void add_diff(std::span<float> w, std::span<const float> replica,
+              std::span<const float> base) {
+  // Element-wise, so the expression matches the scalar reference exactly;
+  // the 4-way unroll only amortises loop control and lets the compiler pack
+  // the convert/subtract/add chain into SIMD lanes.
+  assert(replica.size() >= w.size() && base.size() >= w.size());
+  const std::size_t n = w.size();
+  float* out = w.data();
+  const float* r = replica.data();
+  const float* b = base.data();
+  std::size_t i = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; i < n4; i += 4) {
+    out[i] = static_cast<float>(out[i] + (static_cast<double>(r[i]) -
+                                          static_cast<double>(b[i])));
+    out[i + 1] = static_cast<float>(
+        out[i + 1] +
+        (static_cast<double>(r[i + 1]) - static_cast<double>(b[i + 1])));
+    out[i + 2] = static_cast<float>(
+        out[i + 2] +
+        (static_cast<double>(r[i + 2]) - static_cast<double>(b[i + 2])));
+    out[i + 3] = static_cast<float>(
+        out[i + 3] +
+        (static_cast<double>(r[i + 3]) - static_cast<double>(b[i + 3])));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<float>(out[i] + (static_cast<double>(r[i]) -
+                                          static_cast<double>(b[i])));
   }
 }
 

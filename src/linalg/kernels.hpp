@@ -64,6 +64,8 @@ double sparse_residual_dot(const SparseVectorView& a,
                            std::span<const float> dense);
 void sparse_axpy(double alpha, const SparseVectorView& a,
                  std::span<float> dense);
+void add_diff(std::span<float> w, std::span<const float> replica,
+              std::span<const float> base);
 
 }  // namespace scalar
 
@@ -79,6 +81,8 @@ double sparse_residual_dot(const SparseVectorView& a,
                            std::span<const float> dense);
 void sparse_axpy(double alpha, const SparseVectorView& a,
                  std::span<float> dense);
+void add_diff(std::span<float> w, std::span<const float> replica,
+              std::span<const float> base);
 
 }  // namespace vec
 

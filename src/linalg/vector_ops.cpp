@@ -68,6 +68,15 @@ void sparse_axpy(double alpha, const SparseVectorView& a,
   }
 }
 
+void add_diff(std::span<float> w, std::span<const float> replica,
+              std::span<const float> base) {
+  if (use_scalar()) {
+    scalar::add_diff(w, replica, base);
+  } else {
+    vec::add_diff(w, replica, base);
+  }
+}
+
 double max_abs_diff(std::span<const float> x, std::span<const float> y) {
   assert(x.size() == y.size());
   double worst = 0.0;

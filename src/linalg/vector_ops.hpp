@@ -54,6 +54,12 @@ double sparse_residual_dot(const SparseVectorView& a,
 void sparse_axpy(double alpha, const SparseVectorView& a,
                  std::span<float> dense);
 
+/// w[i] += replica[i] − base[i], element-wise in double — the replica-merge
+/// primitive: folds one replica's delta against its snapshot `base` into the
+/// global vector.  replica/base may be longer than w (padded storage).
+void add_diff(std::span<float> w, std::span<const float> replica,
+              std::span<const float> base);
+
 /// max_i |x_i - y_i|.
 double max_abs_diff(std::span<const float> x, std::span<const float> y);
 

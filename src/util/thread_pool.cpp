@@ -3,8 +3,29 @@
 #include <algorithm>
 
 namespace tpa::util {
+namespace {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+// One iteration of a polite busy-wait: de-pipelines the spin loop so a
+// hyperthread sibling (or, under TSan, the scheduler) gets the core.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
+std::size_t ThreadPool::default_spin_iterations() noexcept {
+  // A futex sleep + wake costs a few microseconds; ~2048 pause iterations
+  // covers that window.  With one hardware thread the spinner and the
+  // thread it waits for share the core, so any spin is pure loss.
+  return std::thread::hardware_concurrency() > 1 ? 2048 : 0;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t spin_iterations)
+    : spin_iterations_(spin_iterations) {
   const std::size_t count = std::max<std::size_t>(1, num_threads);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -15,7 +36,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 ThreadPool::~ThreadPool() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    shutting_down_ = true;
+    shutting_down_.store(true, std::memory_order_relaxed);
   }
   work_available_.notify_all();
   for (auto& worker : workers_) worker.join();
@@ -25,14 +46,24 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
-    ++in_flight_;
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
+  // Spin first: a parallel_for round on a warm pool finishes in the time a
+  // futex sleep would take to even park.  The acquire load pairs with the
+  // workers' release decrement, so task side effects are visible on return.
+  for (std::size_t spin = 0; spin < spin_iterations_; ++spin) {
+    if (in_flight_.load(std::memory_order_acquire) == 0) return;
+    cpu_pause();
+  }
   std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  all_idle_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void ThreadPool::parallel_for(std::size_t count,
@@ -66,23 +97,38 @@ void ThreadPool::parallel_for_chunks(
 
 void ThreadPool::worker_loop() {
   for (;;) {
+    // Bounded spin before parking: watch the pending counter with plain
+    // atomic loads — no mutex traffic — and fall through to the condition
+    // variable only when no work shows up within the budget.
+    for (std::size_t spin = 0; spin < spin_iterations_; ++spin) {
+      if (pending_.load(std::memory_order_relaxed) > 0 ||
+          shutting_down_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      cpu_pause();
+    }
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      work_available_.wait(lock, [this] {
+        return shutting_down_.load(std::memory_order_relaxed) ||
+               !queue_.empty();
+      });
       if (queue_.empty()) {
-        if (shutting_down_) return;
+        if (shutting_down_.load(std::memory_order_relaxed)) return;
         continue;
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
     }
     task();
-    {
+    // Release pairs with wait_idle's acquire.  The last finisher takes the
+    // mutex before notifying so a waiter that just checked the predicate
+    // and is entering wait cannot miss the wake.
+    if (in_flight_.fetch_sub(1, std::memory_order_release) == 1) {
       const std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_idle_.notify_all();
+      all_idle_.notify_all();
     }
   }
 }

@@ -1,9 +1,24 @@
 // Fixed-size thread pool used by the real-threaded variants of the
-// asynchronous CPU solvers (A-SCD / PASSCoDe-Wild).  The deterministic
-// interleaved engine in core/ is the default for experiments; this pool lets
-// the same solvers also run on genuine hardware threads.
+// asynchronous CPU solvers (A-SCD / PASSCoDe-Wild / replicated) and the
+// pooled objective/gap passes.  The deterministic interleaved engine in
+// core/ is the default for experiments; this pool lets the same solvers
+// also run on genuine hardware threads.
+//
+// Wakeup is spin-then-park: a worker that runs out of work spins on an
+// atomic pending-task counter for a bounded number of pause iterations
+// before blocking on the condition variable.  Solver epochs dispatch many
+// short rounds back to back (one per merge interval), and the futex
+// sleep/wake round trip of an immediate park costs more than the round
+// itself; the bounded spin lets a worker catch the next round's tasks
+// while still hot, and parks (so the pool never burns CPU while idle) when
+// no work arrives within the budget.  wait_idle has the matching caller
+// side: a bounded spin on the in-flight counter, then the condition
+// variable.  On a single-core host the spin budget defaults to zero —
+// spinning there only steals cycles from the one core that could be doing
+// the work.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -16,18 +31,29 @@ namespace tpa::util {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least 1).
-  explicit ThreadPool(std::size_t num_threads);
+  /// Spawns `num_threads` workers (at least 1).  `spin_iterations` bounds
+  /// the pause-loop a hungry worker (or wait_idle caller) runs before
+  /// parking on the condition variable.
+  explicit ThreadPool(std::size_t num_threads,
+                      std::size_t spin_iterations = default_spin_iterations());
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
   ~ThreadPool();
 
   std::size_t size() const noexcept { return workers_.size(); }
+  std::size_t spin_iterations() const noexcept { return spin_iterations_; }
+
+  /// Spin budget picked for this host: zero when there is a single hardware
+  /// thread (a spinner would preempt the worker it waits for), a few
+  /// thousand pause iterations (~ the cost of one futex round trip)
+  /// otherwise.
+  static std::size_t default_spin_iterations() noexcept;
 
   /// Enqueues a task.  Tasks must not throw; exceptions terminate.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing.  All memory
+  /// effects of the tasks are visible once it returns.
   void wait_idle();
 
   /// Runs fn(i) for i in [0, count) across the pool and waits.
@@ -57,8 +83,13 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  // pending_ counts queued-but-unclaimed tasks; in_flight_ counts queued +
+  // executing.  Both are written under no lock so spinners can watch them
+  // with plain atomic loads; the queue itself is still mutex-protected.
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<bool> shutting_down_{false};
+  std::size_t spin_iterations_;
 };
 
 }  // namespace tpa::util

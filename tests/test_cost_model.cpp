@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "data/generators.hpp"
 
 namespace tpa::core {
@@ -63,6 +66,108 @@ TEST(CpuCostModel, SpeedupInterpolation) {
   for (const int threads : {2, 4, 8, 16}) {
     EXPECT_GE(model.wild_speedup(threads), model.atomic_speedup(threads));
   }
+}
+
+TEST(CpuCostModel, ReplicatedSpeedupScalesNearLinearly) {
+  const CpuCostModel model;
+  EXPECT_DOUBLE_EQ(model.replicated_speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(model.replicated_speedup(16), 13.0);
+  EXPECT_DOUBLE_EQ(model.replicated_speedup(64), model.replicated_speedup(16));
+  // Plain stores into private replicas dominate both contended paths for
+  // every nontrivial thread count.
+  for (const int threads : {2, 4, 8, 16}) {
+    EXPECT_GT(model.replicated_speedup(threads), model.wild_speedup(threads));
+  }
+  // Linear interpolation: halfway in threads is halfway in speed-up.
+  const double mid = 1.0 + (13.0 - 1.0) * (8 - 1) / 15.0;
+  EXPECT_DOUBLE_EQ(model.replicated_speedup(8), mid);
+}
+
+TEST(PoolDispatchModel, EffectiveThreadsIsCappedByHardware) {
+  PoolDispatchModel model;
+  model.hardware_threads = 4;
+  EXPECT_EQ(model.effective_threads(1), 1);
+  EXPECT_EQ(model.effective_threads(8), 4);
+  EXPECT_EQ(model.effective_threads(0), 1);
+}
+
+TEST(PoolDispatchModel, SingleCoreHostNeverPools) {
+  PoolDispatchModel model;
+  model.hardware_threads = 1;
+  // No entry count can justify a pool when the workers share one core.
+  EXPECT_FALSE(model.use_pool(1u << 30, 8));
+  EXPECT_EQ(model.dispatch_threads(1u << 30, 8), 1);
+}
+
+TEST(PoolDispatchModel, CrossoverGrowsFromDispatchOverhead) {
+  PoolDispatchModel model;
+  model.hardware_threads = 8;
+  // Tiny pass: the wake/join round trip swamps any parallel win.
+  EXPECT_FALSE(model.use_pool(100, 4));
+  EXPECT_EQ(model.dispatch_threads(100, 4), 1);
+  // Large pass: the saved serial time dwarfs the dispatch cost.
+  EXPECT_TRUE(model.use_pool(100'000'000, 4));
+  EXPECT_EQ(model.dispatch_threads(100'000'000, 4), 4);
+  // One requested worker is always serial — nothing to parallelise.
+  EXPECT_FALSE(model.use_pool(100'000'000, 1));
+}
+
+TEST(ReplicaMergeInterval, BalancesMergeCostAgainstUpdateTraffic) {
+  // Dense-ish rows and a small shared vector: merges are cheap, the
+  // interval stays small.
+  const int tight = replica_merge_interval(1'000'000, 1'000, 256, 4);
+  EXPECT_GE(tight, 1);
+  // Same problem, vastly larger shared vector: each merge sweeps far more
+  // entries, so the interval must stretch to amortise it.
+  const int stretched = replica_merge_interval(1'000'000, 1'000, 1 << 20, 4);
+  EXPECT_GT(stretched, tight);
+  // The per-update atomic saving grows like (3t+2)/t of the plain-store
+  // cost, so extra threads amortise each merge faster and the interval may
+  // only shrink — never grow — with the thread count.
+  EXPECT_LE(replica_merge_interval(1'000'000, 1'000, 1 << 20, 16),
+            stretched);
+  // Bounds hold even for degenerate inputs.
+  EXPECT_GE(replica_merge_interval(0, 1, 1, 1), 1);
+  EXPECT_LE(replica_merge_interval(1, 1'000'000, 1u << 31, 64), 1 << 20);
+}
+
+TEST(ReplicaSafeInterval, CapsConcurrentStalenessAtTheBudget) {
+  // Budget is ~coords/64 invisible concurrent updates, split across the
+  // t-1 other workers.
+  EXPECT_EQ(replica_safe_interval(65'536, 2), 1024);
+  EXPECT_EQ(replica_safe_interval(65'536, 5), 256);
+  // More workers -> shorter safe interval, never below one update.
+  EXPECT_GT(replica_safe_interval(65'536, 2), replica_safe_interval(65'536, 8));
+  EXPECT_GE(replica_safe_interval(64, 64), 1);
+  // A lone worker has no concurrent staleness: effectively unbounded.
+  EXPECT_GE(replica_safe_interval(1'000, 1), 1 << 20);
+}
+
+TEST(ReplicaAutoInterval, TakesTheBindingConstraint) {
+  // The auto interval is the tighter of the throughput-optimal and the
+  // convergence-safe intervals, whichever binds.
+  const std::uint64_t nnz = 1'000'000;
+  for (const int t : {2, 4, 8, 16}) {
+    const int cost = replica_merge_interval(nnz, 1'000, 1 << 20, t);
+    const int safe = replica_safe_interval(1'000, t);
+    EXPECT_EQ(replica_auto_interval(nnz, 1'000, 1 << 20, t),
+              std::min(cost, safe));
+  }
+}
+
+TEST(ReplicaDamping, UnityWithinBudgetThenScalesInversely) {
+  // Inside the staleness budget the exact coordinate step is used verbatim.
+  EXPECT_EQ(replica_damping(65'536, 4, 256), 1.0);
+  // A single worker never sees concurrent staleness, at any interval.
+  EXPECT_EQ(replica_damping(65'536, 1, 1 << 20), 1.0);
+  // Past the budget, theta shrinks inversely with the concurrent staleness:
+  // doubling the interval halves the step.
+  const double theta = replica_damping(65'536, 4, 4096);
+  EXPECT_LT(theta, 1.0);
+  EXPECT_GT(theta, 0.0);
+  EXPECT_NEAR(replica_damping(65'536, 4, 8192), theta / 2.0, 1e-12);
+  // theta * concurrent_staleness == budget in the damped regime.
+  EXPECT_NEAR(theta * 3.0 * 4096.0, 1024.0, 1e-9);
 }
 
 }  // namespace

@@ -141,8 +141,9 @@ TEST(SolverFactory, BuildsEveryKind) {
   const RidgeProblem problem(webspam_small(), 1e-3);
   for (const auto kind :
        {SolverKind::kSequential, SolverKind::kAsyncAtomic,
-        SolverKind::kAsyncWild, SolverKind::kThreadedAtomic,
-        SolverKind::kThreadedWild, SolverKind::kTpaM4000,
+        SolverKind::kAsyncWild, SolverKind::kAsyncReplicated,
+        SolverKind::kThreadedAtomic, SolverKind::kThreadedWild,
+        SolverKind::kThreadedReplicated, SolverKind::kTpaM4000,
         SolverKind::kTpaTitanX}) {
     SolverConfig config;
     config.kind = kind;
@@ -157,8 +158,9 @@ TEST(SolverFactory, BuildsEveryKind) {
 TEST(SolverFactory, ParseRoundTripsNames) {
   for (const auto kind :
        {SolverKind::kSequential, SolverKind::kAsyncAtomic,
-        SolverKind::kAsyncWild, SolverKind::kThreadedAtomic,
-        SolverKind::kThreadedWild, SolverKind::kTpaM4000,
+        SolverKind::kAsyncWild, SolverKind::kAsyncReplicated,
+        SolverKind::kThreadedAtomic, SolverKind::kThreadedWild,
+        SolverKind::kThreadedReplicated, SolverKind::kTpaM4000,
         SolverKind::kTpaTitanX}) {
     EXPECT_EQ(parse_solver_kind(solver_kind_name(kind)), kind);
   }

@@ -119,5 +119,51 @@ TEST(ThreadPool, SurvivesManyWaves) {
   EXPECT_EQ(counter.load(), 200);
 }
 
+TEST(ThreadPool, DefaultSpinBudgetMatchesHost) {
+  // Zero on a single-core host (a spinner would preempt the one worker),
+  // a bounded nonzero budget everywhere else.
+  const std::size_t budget = ThreadPool::default_spin_iterations();
+  if (std::thread::hardware_concurrency() > 1) {
+    EXPECT_GT(budget, 0u);
+    EXPECT_LE(budget, 1u << 20);
+  } else {
+    EXPECT_EQ(budget, 0u);
+  }
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.spin_iterations(), budget);
+}
+
+// The spin budget is a latency knob, never a correctness knob: every task
+// still runs exactly once and wait_idle still observes all side effects,
+// whether workers park immediately (0) or spin long past the default.
+TEST(ThreadPool, CorrectForAnySpinBudget) {
+  for (const std::size_t spin : {std::size_t{0}, std::size_t{64},
+                                 std::size_t{100'000}}) {
+    ThreadPool pool(3, spin);
+    EXPECT_EQ(pool.spin_iterations(), spin);
+    std::atomic<int> counter{0};
+    for (int wave = 0; wave < 10; ++wave) {
+      std::vector<std::atomic<int>> hits(97);
+      pool.parallel_for(hits.size(),
+                        [&hits](std::size_t i) { hits[i].fetch_add(1); });
+      for (const auto& h : hits) {
+        ASSERT_EQ(h.load(), 1) << "spin " << spin;
+      }
+      pool.submit([&counter] { counter.fetch_add(1); });
+      pool.wait_idle();
+    }
+    EXPECT_EQ(counter.load(), 10) << "spin " << spin;
+  }
+}
+
+// Spinners park when no work arrives: a pool left idle must not prevent a
+// timely destructor join even with a huge spin budget (the shutdown flag is
+// part of the spin predicate).
+TEST(ThreadPool, ShutsDownPromptlyWithLargeSpinBudget) {
+  ThreadPool pool(4, 1u << 22);
+  pool.parallel_for(64, [](std::size_t) {});
+  // Destructor joins here; a hang fails via the test timeout.
+}
+
 }  // namespace
 }  // namespace tpa::util

@@ -92,8 +92,8 @@ int main(int argc, char** argv) {
   parser.add_option("features", "generated feature count", "2x examples");
   parser.add_option("seed", "RNG seed", "42");
   parser.add_option("solver",
-                    "seq | ascd | wild | ascd-threads | wild-threads | "
-                    "tpa-m4000 | tpa-titanx",
+                    "seq | ascd | wild | rep | ascd-threads | wild-threads | "
+                    "rep-threads | tpa-m4000 | tpa-titanx",
                     "tpa-titanx");
   parser.add_option("form", "primal | dual", "dual");
   parser.add_option("lambda", "regularisation strength", "1e-3");
@@ -107,6 +107,10 @@ int main(int argc, char** argv) {
   parser.add_option("gap-threads",
                     "threads for each duality-gap evaluation (1 = serial)",
                     "1");
+  parser.add_option("merge-every",
+                    "replicated solvers: updates per worker between replica "
+                    "merges (0 = automatic)",
+                    "0");
   parser.add_option("workers", "distribute across this many workers", "1");
   parser.add_flag("adaptive", "use adaptive aggregation (Algorithm 4)");
   parser.add_option("save", "write the trained model here");
@@ -196,6 +200,9 @@ int main(int argc, char** argv) {
     run_options.gap_every = static_cast<int>(parser.get_int("gap-every", 1));
     run_options.gap_threads =
         static_cast<int>(parser.get_int("gap-threads", 1));
+    run_options.merge_every =
+        static_cast<int>(parser.get_int("merge-every", 0));
+    solver_config.merge_every = run_options.merge_every;
 
     const int workers = static_cast<int>(parser.get_int("workers", 1));
     core::SavedModel model;
