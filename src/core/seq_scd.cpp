@@ -6,6 +6,16 @@
 
 namespace tpa::core {
 
+void scd_sweep(const RidgeProblem& problem, Formulation f,
+               std::span<const std::uint32_t> order, std::span<float> weights,
+               std::span<float> shared) {
+  for (const auto j : order) {
+    const double delta = problem.coordinate_delta(f, j, shared, weights[j]);
+    weights[j] = static_cast<float>(weights[j] + delta);
+    linalg::sparse_axpy(delta, problem.coordinate_vector(f, j), shared);
+  }
+}
+
 SeqScdSolver::SeqScdSolver(const RidgeProblem& problem, Formulation f,
                            std::uint64_t seed, CpuCostModel cost_model)
     : problem_(&problem),
@@ -24,13 +34,7 @@ EpochReport SeqScdSolver::run_epoch() {
   }();
   {
     obs::TraceSpan sweep("seq_scd/sweep");
-    for (const auto j : order) {
-      const double delta = problem_->coordinate_delta(
-          formulation_, j, state_.shared, state_.weights[j]);
-      state_.weights[j] = static_cast<float>(state_.weights[j] + delta);
-      linalg::sparse_axpy(delta, problem_->coordinate_vector(formulation_, j),
-                          state_.shared);
-    }
+    scd_sweep(*problem_, formulation_, order, state_.weights, state_.shared);
   }
   EpochReport report;
   report.coordinate_updates = order.size();

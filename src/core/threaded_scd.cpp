@@ -8,6 +8,84 @@
 #include "util/timer.hpp"
 
 namespace tpa::core {
+namespace {
+
+// The body of the sequential solver's sweep, against one worker's private
+// replica: plain loads and in-order plain stores, no atomics.  Coordinate
+// slices are disjoint, so weights[j] has exactly one writer.  The exact
+// coordinate step is under-relaxed by `damping` (1.0 within the safe
+// staleness budget, where the multiply is exact and this is the sequential
+// body verbatim); weights and replica scale together, preserving the
+// shared-vector invariant at any θ.
+void replica_pass(const RidgeProblem& problem, Formulation f,
+                  std::span<const std::uint32_t> coords,
+                  std::span<float> weights, std::span<float> replica,
+                  double damping) {
+  for (const auto j : coords) {
+    const double step =
+        damping * problem.coordinate_delta(f, j, replica, weights[j]);
+    weights[j] = static_cast<float>(weights[j] + step);
+    linalg::sparse_axpy(step, problem.coordinate_vector(f, j), replica);
+  }
+}
+
+}  // namespace
+
+void replicated_sweep(const RidgeProblem& problem, Formulation f,
+                      std::span<const std::uint32_t> order,
+                      std::span<float> weights, std::span<float> shared,
+                      ReplicaSet& replicas, util::ThreadPool& pool,
+                      int threads, int merge_every) {
+  replicas.configure(shared.size(), threads);
+  // Reseed every call: the caller may overwrite `shared` between sweeps.
+  replicas.reset_from(shared);
+
+  const int interval =
+      merge_every > 0
+          ? merge_every
+          : replica_auto_interval(problem.dataset().nnz(),
+                                  problem.num_coordinates(f), shared.size(),
+                                  threads);
+  const std::size_t n = order.size();
+  const std::size_t tcount = static_cast<std::size_t>(threads);
+  const std::size_t slice = (n + tcount - 1) / tcount;
+  // Staleness — and therefore the damping θ — is set by the updates a round
+  // actually performs, which a slice shorter than the interval caps.
+  const int effective_interval = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(interval), std::max<std::size_t>(1, slice)));
+  const double damping =
+      replica_damping(problem.num_coordinates(f), threads, effective_interval);
+  // Replicated execution is schedule-independent (each worker reads and
+  // writes only its own replica between barriers), so running the slices
+  // inline on the calling thread is bit-identical to pooled execution —
+  // the cost model just picks whichever is predicted faster on this host.
+  const bool pooled =
+      pool.size() > 1 &&
+      pool_dispatch().use_pool(2 * problem.dataset().nnz(), threads);
+
+  for (std::size_t offset = 0; offset < slice;
+       offset += static_cast<std::size_t>(interval)) {
+    // Round: every worker advances through up to `interval` coordinates of
+    // its slice against its replica, then all replicas merge at the barrier.
+    const auto run_round = [&](std::size_t t) {
+      const std::size_t slice_end = std::min((t + 1) * slice, n);
+      const std::size_t begin = std::min(t * slice + offset, slice_end);
+      const std::size_t end =
+          std::min(begin + static_cast<std::size_t>(interval), slice_end);
+      if (begin >= end) return;
+      obs::TraceSpan chunk("threaded_scd/round", obs::kCurrentThread,
+                           static_cast<std::int64_t>(end - begin));
+      replica_pass(problem, f, order.subspan(begin, end - begin), weights,
+                   replicas.replica(static_cast<int>(t)), damping);
+    };
+    if (pooled) {
+      pool.parallel_for(tcount, run_round, /*grain=*/1);
+    } else {
+      for (std::size_t t = 0; t < tcount; ++t) run_round(t);
+    }
+    replicas.merge_into(shared);
+  }
+}
 
 ThreadedScdSolver::ThreadedScdSolver(const RidgeProblem& problem,
                                      Formulation f, int threads,
@@ -57,79 +135,11 @@ void ThreadedScdSolver::worker_pass(std::span<const std::uint32_t> coords) {
   }
 }
 
-void ThreadedScdSolver::worker_pass_replicated(
-    std::span<const std::uint32_t> coords, std::span<float> replica,
-    double damping) {
-  // The body of the sequential solver's sweep, against this worker's private
-  // replica: plain loads and in-order plain stores, no atomics.  Coordinate
-  // slices are disjoint, so state_.weights[j] has exactly one writer.  The
-  // exact coordinate step is under-relaxed by `damping` (1.0 within the safe
-  // staleness budget, where the multiply is exact and this is the sequential
-  // body verbatim); weights and replica scale together, preserving the
-  // shared-vector invariant at any θ.
-  for (const auto j : coords) {
-    const double step =
-        damping * problem_->coordinate_delta(formulation_, j, replica,
-                                             state_.weights[j]);
-    state_.weights[j] = static_cast<float>(state_.weights[j] + step);
-    linalg::sparse_axpy(step, problem_->coordinate_vector(formulation_, j),
-                        replica);
-  }
-}
-
 EpochReport ThreadedScdSolver::run_epoch_replicated(
     std::span<const std::uint32_t> order) {
-  auto shared = std::span<float>(state_.shared);
-  replicas_.configure(shared.size(), threads_);
-  // Reseed every epoch: the distributed engine overwrites state_.shared
-  // between epochs.
-  replicas_.reset_from(shared);
-
-  const int interval =
-      merge_every_ > 0
-          ? merge_every_
-          : replica_auto_interval(problem_->dataset().nnz(),
-                                  problem_->num_coordinates(formulation_),
-                                  shared.size(), threads_);
+  replicated_sweep(*problem_, formulation_, order, state_.weights,
+                   state_.shared, replicas_, pool_, threads_, merge_every_);
   const std::size_t n = order.size();
-  const std::size_t tcount = static_cast<std::size_t>(threads_);
-  const std::size_t slice = (n + tcount - 1) / tcount;
-  // Staleness — and therefore the damping θ — is set by the updates a round
-  // actually performs, which a slice shorter than the interval caps.
-  const int effective_interval = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(interval), std::max<std::size_t>(1, slice)));
-  const double damping = replica_damping(
-      problem_->num_coordinates(formulation_), threads_, effective_interval);
-  // Replicated execution is schedule-independent (each worker reads and
-  // writes only its own replica between barriers), so running the slices
-  // inline on the calling thread is bit-identical to pooled execution —
-  // the cost model just picks whichever is predicted faster on this host.
-  const bool pooled =
-      pool_.size() > 1 &&
-      pool_dispatch().use_pool(2 * problem_->dataset().nnz(), threads_);
-
-  for (std::size_t offset = 0; offset < slice;
-       offset += static_cast<std::size_t>(interval)) {
-    // Round: every worker advances through up to `interval` coordinates of
-    // its slice against its replica, then all replicas merge at the barrier.
-    const auto run_round = [&](std::size_t t) {
-      const std::size_t slice_end = std::min((t + 1) * slice, n);
-      const std::size_t begin = std::min(t * slice + offset, slice_end);
-      const std::size_t end =
-          std::min(begin + static_cast<std::size_t>(interval), slice_end);
-      if (begin >= end) return;
-      obs::TraceSpan chunk("threaded_scd/round", obs::kCurrentThread,
-                           static_cast<std::int64_t>(end - begin));
-      worker_pass_replicated(order.subspan(begin, end - begin),
-                             replicas_.replica(static_cast<int>(t)), damping);
-    };
-    if (pooled) {
-      pool_.parallel_for(tcount, run_round, /*grain=*/1);
-    } else {
-      for (std::size_t t = 0; t < tcount; ++t) run_round(t);
-    }
-    replicas_.merge_into(shared);
-  }
 
   EpochReport report;
   report.coordinate_updates = n;

@@ -31,6 +31,20 @@
 
 namespace tpa::core {
 
+/// One replicated-policy sweep of `order` against (weights, shared): each
+/// pool worker advances a disjoint slice against a private replica, merged
+/// every `merge_every` updates per thread (0 = replica_auto_interval, with
+/// replica_damping past the safe staleness budget).  This is the body of
+/// ThreadedScdSolver's kReplicated epoch as a free function — bit-identical
+/// pooled or inline — so shard-local threaded sweeps (store/
+/// streaming_solver) share it.  `replicas` is caller-owned scratch that
+/// persists across calls; `weights` is indexed by `problem`-local ids.
+void replicated_sweep(const RidgeProblem& problem, Formulation f,
+                      std::span<const std::uint32_t> order,
+                      std::span<float> weights, std::span<float> shared,
+                      ReplicaSet& replicas, util::ThreadPool& pool,
+                      int threads, int merge_every);
+
 class ThreadedScdSolver final : public Solver {
  public:
   ThreadedScdSolver(const RidgeProblem& problem, Formulation f, int threads,
@@ -57,8 +71,6 @@ class ThreadedScdSolver final : public Solver {
 
  private:
   void worker_pass(std::span<const std::uint32_t> coords);
-  void worker_pass_replicated(std::span<const std::uint32_t> coords,
-                              std::span<float> replica, double damping);
   EpochReport run_epoch_replicated(std::span<const std::uint32_t> order);
 
   const RidgeProblem* problem_;

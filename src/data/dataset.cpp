@@ -16,29 +16,43 @@ constexpr sparse::Offset kParallelSetupNnz = 1u << 16;
 }  // namespace
 
 Dataset::Dataset(std::string name, sparse::CsrMatrix by_row,
-                 std::vector<float> labels)
+                 std::vector<float> labels, DatasetLayout layout)
     : name_(std::move(name)),
       by_row_(std::move(by_row)),
-      labels_(std::move(labels)) {
+      labels_(std::move(labels)),
+      layout_(layout) {
   if (labels_.size() != by_row_.rows()) {
     throw std::invalid_argument("Dataset: labels count must equal rows");
   }
-  by_col_ = sparse::csr_to_csc(by_row_);
   bucketed_rows_ = sparse::BucketedLayout::from_rows(by_row_);
-  bucketed_cols_ = sparse::BucketedLayout::from_cols(by_col_);
+  if (layout_ == DatasetLayout::kFull) {
+    by_col_ = sparse::csr_to_csc(by_row_);
+    bucketed_cols_ = sparse::BucketedLayout::from_cols(by_col_);
+  }
   if (by_row_.nnz() >= kParallelSetupNnz) {
     util::ThreadPool pool(std::min<std::size_t>(
         std::max(1u, std::thread::hardware_concurrency()), 8));
     row_norms_ = by_row_.row_squared_norms(&pool);
-    col_norms_ = by_col_.col_squared_norms(&pool);
+    if (layout_ == DatasetLayout::kFull) {
+      col_norms_ = by_col_.col_squared_norms(&pool);
+    }
   } else {
     row_norms_ = by_row_.row_squared_norms();
-    col_norms_ = by_col_.col_squared_norms();
+    if (layout_ == DatasetLayout::kFull) {
+      col_norms_ = by_col_.col_squared_norms();
+    }
   }
 }
 
 std::size_t Dataset::memory_bytes() const noexcept {
   return by_row_.memory_bytes() + labels_.size() * sizeof(float);
+}
+
+std::size_t Dataset::resident_bytes() const noexcept {
+  return by_row_.memory_bytes() + by_col_.memory_bytes() +
+         bucketed_rows_.memory_bytes() + bucketed_cols_.memory_bytes() +
+         labels_.size() * sizeof(float) +
+         (row_norms_.size() + col_norms_.size()) * sizeof(double);
 }
 
 }  // namespace tpa::data

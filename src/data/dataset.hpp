@@ -30,15 +30,26 @@ struct PaperScale {
   std::uint64_t nnz = 0;
 };
 
+/// Which derived orientations a Dataset materialises.  kFull builds both
+/// orientations (every solver works).  kRowsOnly skips the column-oriented
+/// copy, its bucketed layout and the column norms — the layout the
+/// out-of-core store uses for its resident shards, where only dual
+/// (by-example) access exists and the column copy would inflate the
+/// per-shard memory budget ~2x.  Primal-formulation paths (by_col,
+/// bucketed_cols, col_squared_norms) must not be used on a rows-only
+/// dataset: they return empty views.
+enum class DatasetLayout { kFull, kRowsOnly };
+
 class Dataset {
  public:
   Dataset() = default;
 
   /// Builds from a row-oriented matrix and labels (one per row); the
-  /// column-oriented copy is derived.  Throws std::invalid_argument on a
-  /// label count mismatch.
+  /// column-oriented copy is derived unless `layout` is kRowsOnly.  Throws
+  /// std::invalid_argument on a label count mismatch.
   Dataset(std::string name, sparse::CsrMatrix by_row,
-          std::vector<float> labels);
+          std::vector<float> labels,
+          DatasetLayout layout = DatasetLayout::kFull);
 
   const std::string& name() const noexcept { return name_; }
 
@@ -73,8 +84,15 @@ class Dataset {
   }
   void set_paper_scale(PaperScale scale) { paper_scale_ = std::move(scale); }
 
+  DatasetLayout layout() const noexcept { return layout_; }
+
   /// Combined CSR+labels bytes (the footprint a GPU worker would hold).
   std::size_t memory_bytes() const noexcept;
+
+  /// Bytes this Dataset actually holds resident: both orientations, the
+  /// bucketed layouts, labels and norms.  The out-of-core budget accounting
+  /// charges shards at this figure, not at raw CSR size.
+  std::size_t resident_bytes() const noexcept;
 
  private:
   std::string name_;
@@ -86,6 +104,7 @@ class Dataset {
   std::vector<double> row_norms_;
   std::vector<double> col_norms_;
   std::optional<PaperScale> paper_scale_;
+  DatasetLayout layout_ = DatasetLayout::kFull;
 };
 
 }  // namespace tpa::data

@@ -10,47 +10,66 @@ namespace {
 
 constexpr char kMagic[4] = {'T', 'P', 'A', '1'};
 
-struct Header {
-  std::uint64_t rows = 0;
-  std::uint64_t cols = 0;
-  std::uint64_t nnz = 0;
-  std::uint64_t labels = 0;
-};
-
 void write_raw(std::ostream& out, const void* data, std::size_t bytes,
-               std::uint64_t& checksum) {
+               Fnv1a& checksum) {
   out.write(static_cast<const char*>(data),
             static_cast<std::streamsize>(bytes));
   if (!out) throw std::runtime_error("binary write failed");
-  checksum = fnv1a(data, bytes, checksum);
+  checksum.update(data, bytes);
 }
 
 void read_raw(std::istream& in, void* data, std::size_t bytes,
-              std::uint64_t& checksum) {
+              Fnv1a& checksum) {
   in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
   if (static_cast<std::size_t>(in.gcount()) != bytes) {
     throw std::runtime_error("binary read truncated");
   }
-  checksum = fnv1a(data, bytes, checksum);
+  checksum.update(data, bytes);
+}
+
+LabeledMatrix assemble(const BinaryHeader& header, std::vector<Offset> offsets,
+                       std::vector<Index> indices, std::vector<Value> values,
+                       std::vector<float> labels) {
+  return LabeledMatrix{
+      CsrMatrix(static_cast<Index>(header.rows),
+                static_cast<Index>(header.cols), std::move(offsets),
+                std::move(indices), std::move(values)),
+      std::move(labels)};
 }
 
 }  // namespace
 
-std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+void Fnv1a::update(const void* data, std::size_t bytes) noexcept {
   const auto* bytes_ptr = static_cast<const unsigned char*>(data);
-  std::uint64_t hash = seed;
+  std::uint64_t hash = hash_;
   for (std::size_t i = 0; i < bytes; ++i) {
     hash ^= bytes_ptr[i];
     hash *= 0x100000001b3ULL;
   }
-  return hash;
+  hash_ = hash;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  Fnv1a acc(seed);
+  acc.update(data, bytes);
+  return acc.digest();
+}
+
+std::uint64_t BinaryHeader::payload_bytes() const noexcept {
+  return (rows + 1) * sizeof(Offset) + nnz * (sizeof(Index) + sizeof(Value)) +
+         labels * sizeof(float);
+}
+
+std::uint64_t BinaryHeader::file_bytes() const noexcept {
+  return sizeof(kMagic) + sizeof(BinaryHeader) + payload_bytes() +
+         sizeof(std::uint64_t);
 }
 
 void write_binary(std::ostream& out, const LabeledMatrix& data) {
   out.write(kMagic, sizeof(kMagic));
-  std::uint64_t checksum = 0xcbf29ce484222325ULL;
-  const Header header{data.matrix.rows(), data.matrix.cols(),
-                      data.matrix.nnz(), data.labels.size()};
+  Fnv1a checksum;
+  const BinaryHeader header{data.matrix.rows(), data.matrix.cols(),
+                            data.matrix.nnz(), data.labels.size()};
   write_raw(out, &header, sizeof(header), checksum);
   write_raw(out, data.matrix.row_offsets().data(),
             data.matrix.row_offsets().size() * sizeof(Offset), checksum);
@@ -60,7 +79,8 @@ void write_binary(std::ostream& out, const LabeledMatrix& data) {
             data.matrix.values().size() * sizeof(Value), checksum);
   write_raw(out, data.labels.data(), data.labels.size() * sizeof(float),
             checksum);
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  const std::uint64_t digest = checksum.digest();
+  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
   if (!out) throw std::runtime_error("binary write failed");
 }
 
@@ -70,6 +90,38 @@ void write_binary_file(const std::string& path, const LabeledMatrix& data) {
   write_binary(out, data);
 }
 
+BinaryHeader read_binary_header(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("binary read: bad magic");
+  }
+  BinaryHeader header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(header)) {
+    throw std::runtime_error("binary read truncated (header)");
+  }
+  return header;
+}
+
+BinaryHeader read_binary_header_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_binary_header(in);
+}
+
+BinaryHeader read_binary_header(const void* data, std::size_t size) {
+  if (size < sizeof(kMagic) + sizeof(BinaryHeader) ||
+      std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("binary read: bad magic");
+  }
+  BinaryHeader header;
+  std::memcpy(&header, static_cast<const char*>(data) + sizeof(kMagic),
+              sizeof(header));
+  return header;
+}
+
 LabeledMatrix read_binary(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
@@ -77,8 +129,8 @@ LabeledMatrix read_binary(std::istream& in) {
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("binary read: bad magic");
   }
-  std::uint64_t checksum = 0xcbf29ce484222325ULL;
-  Header header;
+  Fnv1a checksum;
+  BinaryHeader header;
   read_raw(in, &header, sizeof(header), checksum);
 
   std::vector<Offset> offsets(header.rows + 1);
@@ -95,14 +147,46 @@ LabeledMatrix read_binary(std::istream& in) {
   if (static_cast<std::size_t>(in.gcount()) != sizeof(stored)) {
     throw std::runtime_error("binary read truncated (checksum)");
   }
-  if (stored != checksum) {
+  if (stored != checksum.digest()) {
     throw std::runtime_error("binary read: checksum mismatch");
   }
-  return LabeledMatrix{
-      CsrMatrix(static_cast<Index>(header.rows),
-                static_cast<Index>(header.cols), std::move(offsets),
-                std::move(indices), std::move(values)),
-      std::move(labels)};
+  return assemble(header, std::move(offsets), std::move(indices),
+                  std::move(values), std::move(labels));
+}
+
+LabeledMatrix read_binary(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const BinaryHeader header = read_binary_header(data, size);
+  if (header.file_bytes() != size) {
+    throw std::runtime_error("binary read truncated (payload)");
+  }
+  const unsigned char* cursor = bytes + sizeof(kMagic) + sizeof(header);
+
+  std::vector<Offset> offsets(header.rows + 1);
+  std::vector<Index> indices(header.nnz);
+  std::vector<Value> values(header.nnz);
+  std::vector<float> labels(header.labels);
+  const auto take = [&cursor](void* dst, std::size_t n) {
+    std::memcpy(dst, cursor, n);
+    cursor += n;
+  };
+  take(offsets.data(), offsets.size() * sizeof(Offset));
+  take(indices.data(), indices.size() * sizeof(Index));
+  take(values.data(), values.size() * sizeof(Value));
+  take(labels.data(), labels.size() * sizeof(float));
+
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, cursor, sizeof(stored));
+  // One pass over the mapped image, exactly the bytes the stream reader
+  // would have folded in.
+  const std::uint64_t computed =
+      fnv1a(bytes + sizeof(kMagic),
+            sizeof(header) + header.payload_bytes());
+  if (stored != computed) {
+    throw std::runtime_error("binary read: checksum mismatch");
+  }
+  return assemble(header, std::move(offsets), std::move(indices),
+                  std::move(values), std::move(labels));
 }
 
 LabeledMatrix read_binary_file(const std::string& path) {

@@ -1,0 +1,73 @@
+#include "store/run.hpp"
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace tpa::store {
+
+StreamingCheckpoint make_checkpoint(const StreamingScdSolver& solver) {
+  StreamingCheckpoint checkpoint;
+  checkpoint.epoch = static_cast<std::uint64_t>(solver.epochs_completed());
+  checkpoint.shards_done = solver.shards_done();
+  checkpoint.seed = solver.config().seed;
+  checkpoint.threads = static_cast<std::uint64_t>(solver.config().threads);
+  checkpoint.rows = solver.source().rows();
+  checkpoint.cols = solver.source().cols();
+  checkpoint.shards = solver.source().num_shards();
+  checkpoint.lambda = solver.config().lambda;
+  checkpoint.alpha.assign(solver.alpha().begin(), solver.alpha().end());
+  checkpoint.shared.assign(solver.shared().begin(), solver.shared().end());
+  return checkpoint;
+}
+
+core::ConvergenceTrace run_streaming(StreamingScdSolver& solver,
+                                     const core::RunOptions& options,
+                                     const CheckpointOptions& checkpoint) {
+  core::ConvergenceTrace trace;
+  double wall_total = 0.0;
+  const int interval = core::effective_gap_interval(options);
+  const bool shard_checkpoints =
+      !checkpoint.path.empty() && checkpoint.every_shards > 0;
+  auto& epoch_counter = obs::metrics().counter("train.epochs");
+  auto& gap_counter = obs::metrics().counter("train.gap_evals");
+
+  // A resumed solver continues its interrupted epoch first; epoch numbers
+  // in the trace stay the global ones.
+  for (int epoch = solver.epochs_completed() + 1;
+       epoch <= options.max_epochs; ++epoch) {
+    const auto report = [&] {
+      obs::TraceSpan span("train/epoch", obs::kCurrentThread, epoch);
+      if (!shard_checkpoints) return solver.run_epoch();
+      const util::WallTimer timer;
+      core::EpochReport chunked;
+      do {
+        solver.run_shards(checkpoint.every_shards);
+        write_checkpoint_file(checkpoint.path, make_checkpoint(solver));
+      } while (solver.mid_epoch());
+      chunked.coordinate_updates = solver.source().rows();
+      chunked.wall_seconds = timer.seconds();
+      return chunked;
+    }();
+    epoch_counter.add();
+    wall_total += report.wall_seconds;
+    if (epoch % interval == 0 || epoch == options.max_epochs) {
+      core::TracePoint point;
+      point.epoch = epoch;
+      {
+        obs::TraceSpan span("train/gap_eval", obs::kCurrentThread, epoch);
+        point.gap = solver.duality_gap();
+      }
+      gap_counter.add();
+      point.wall_seconds = wall_total;
+      trace.add(point);
+      if (options.target_gap > 0.0 && point.gap <= options.target_gap) break;
+    }
+  }
+  if (!checkpoint.path.empty() && !shard_checkpoints) {
+    write_checkpoint_file(checkpoint.path, make_checkpoint(solver));
+  }
+  return trace;
+}
+
+}  // namespace tpa::store

@@ -1,0 +1,111 @@
+#include "store/svmlight_stream.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tpa::store {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("svmlight parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+// Parses one svmlight line into (label, cols, vals); returns false for
+// blank/comment lines.  Grammar identical to sparse::read_svmlight.
+bool parse_line(const std::string& line, std::size_t line_no, float& label,
+                std::vector<sparse::Index>& cols,
+                std::vector<sparse::Value>& vals) {
+  cols.clear();
+  vals.clear();
+  if (line.empty() || line[0] == '#') return false;
+  std::istringstream tokens(line);
+  if (!(tokens >> label)) fail(line_no, "missing label");
+  std::string pair;
+  while (tokens >> pair) {
+    if (pair[0] == '#') break;  // trailing comment
+    const auto colon = pair.find(':');
+    if (colon == std::string::npos) fail(line_no, "expected index:value");
+    long index = 0;
+    float value = 0.0F;
+    try {
+      index = std::stol(pair.substr(0, colon));
+      value = std::stof(pair.substr(colon + 1));
+    } catch (const std::exception&) {
+      fail(line_no, "bad index:value token '" + pair + "'");
+    }
+    if (index < 1) fail(line_no, "indices are 1-based and positive");
+    const auto col = static_cast<sparse::Index>(index - 1);
+    if (!cols.empty() && col <= cols.back()) {
+      fail(line_no, "feature indices must strictly increase");
+    }
+    cols.push_back(col);
+    vals.push_back(value);
+  }
+  return true;
+}
+
+}  // namespace
+
+Manifest convert_svmlight_to_store(std::istream& in,
+                                   const std::string& directory,
+                                   const std::string& name,
+                                   std::uint64_t rows_per_shard,
+                                   sparse::Index num_features) {
+  if (num_features == 0) {
+    throw std::invalid_argument(
+        "convert_svmlight_to_store: a stream needs an explicit feature "
+        "count (use the file variant for inference)");
+  }
+  ShardWriter writer(directory, name, num_features, rows_per_shard);
+  std::string line;
+  std::size_t line_no = 0;
+  float label = 0.0F;
+  std::vector<sparse::Index> cols;
+  std::vector<sparse::Value> vals;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!parse_line(line, line_no, label, cols, vals)) continue;
+    if (!cols.empty() && cols.back() >= num_features) {
+      fail(line_no, "feature index exceeds num_features");
+    }
+    writer.append(cols, vals, label);
+  }
+  return writer.finish();
+}
+
+Manifest convert_svmlight_file_to_store(const std::string& svm_path,
+                                        const std::string& directory,
+                                        const std::string& name,
+                                        std::uint64_t rows_per_shard,
+                                        sparse::Index num_features) {
+  if (num_features == 0) {
+    // Inference pass: stream once for the maximum feature index only.
+    std::ifstream scan(svm_path);
+    if (!scan) throw std::runtime_error("cannot open " + svm_path);
+    std::string line;
+    std::size_t line_no = 0;
+    float label = 0.0F;
+    std::vector<sparse::Index> cols;
+    std::vector<sparse::Value> vals;
+    sparse::Index max_col = 0;
+    bool any = false;
+    while (std::getline(scan, line)) {
+      ++line_no;
+      if (!parse_line(line, line_no, label, cols, vals)) continue;
+      any = true;
+      if (!cols.empty()) max_col = std::max(max_col, cols.back());
+    }
+    if (!any) throw std::runtime_error("svmlight file has no examples");
+    num_features = max_col + 1;
+  }
+  std::ifstream in(svm_path);
+  if (!in) throw std::runtime_error("cannot open " + svm_path);
+  return convert_svmlight_to_store(in, directory, name, rows_per_shard,
+                                   num_features);
+}
+
+}  // namespace tpa::store

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/dist_solver.hpp"
 #include "core/convergence.hpp"
@@ -30,6 +31,10 @@
 #include "sparse/load.hpp"
 #include "sparse/matrix_stats.hpp"
 #include "run_report.hpp"
+#include "store/checkpoint.hpp"
+#include "store/run.hpp"
+#include "store/shard_reader.hpp"
+#include "store/streaming_dataset.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 
@@ -78,6 +83,145 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+void write_trace_outputs(const util::ArgParser& parser,
+                         const core::ConvergenceTrace& trace,
+                         const std::string& trace_out, bool chrome_trace) {
+  if (!trace_out.empty()) {
+    if (chrome_trace) {
+      obs::write_chrome_trace(trace_out);
+      std::printf("Chrome trace (%llu spans) written to %s\n",
+                  static_cast<unsigned long long>(
+                      obs::trace_events_recorded()),
+                  trace_out.c_str());
+    } else if (ends_with(trace_out, ".csv")) {
+      trace.write_csv_file(trace_out);
+      std::printf("convergence trace written to %s\n", trace_out.c_str());
+    } else {
+      trace.write_jsonl_file(trace_out);
+      std::printf("convergence trace written to %s\n", trace_out.c_str());
+    }
+  }
+  if (parser.has("metrics-out")) {
+    const auto path = parser.get_string("metrics-out", "");
+    auto out = tools::open_report(path);
+    out << tools::run_meta_json("tpascd_train") << '\n';
+    trace.write_jsonl(out);
+    obs::metrics().write_jsonl(out);
+    std::printf("run report written to %s\n", path.c_str());
+  }
+}
+
+// The out-of-core path: shards stream through a fixed resident window
+// instead of a fully materialised Dataset.  `--store <manifest>` trains
+// off disk; `--stream-shards K` shards an in-memory matrix with the same
+// split rule — the bit-exact comparison arm (identical solver code,
+// different byte source).
+int run_streaming_mode(const util::ArgParser& parser,
+                       const std::string& trace_out, bool chrome_trace) {
+  const auto manifest_path = parser.get_string("store", "");
+
+  store::StreamingConfig config;
+  config.lambda = parser.get_double("lambda", 1e-3);
+  config.seed = static_cast<std::uint64_t>(parser.get_int("seed", 42));
+  config.threads = static_cast<int>(parser.get_int("stream-threads", 1));
+  config.resident_shards =
+      static_cast<std::size_t>(parser.get_int("resident-shards", 2));
+  config.async_prefetch = !parser.get_bool("sync-prefetch");
+  config.merge_every = static_cast<int>(parser.get_int("merge-every", 0));
+
+  // A resumed run takes the run identity (lambda, seed, threads) from the
+  // checkpoint; the solver rejects shape mismatches below.
+  const bool resuming = parser.has("resume");
+  store::StreamingCheckpoint restored;
+  if (resuming) {
+    restored = store::read_checkpoint_file(parser.get_string("resume", ""));
+    config.lambda = restored.lambda;
+    config.seed = restored.seed;
+    config.threads = static_cast<int>(restored.threads);
+    std::printf(
+        "resuming streamed run from epoch %llu + %llu shards (lambda %.3g)\n",
+        static_cast<unsigned long long>(restored.epoch),
+        static_cast<unsigned long long>(restored.shards_done),
+        restored.lambda);
+  }
+
+  sparse::LabeledMatrix memory_data;  // owns the --stream-shards arm's bytes
+  std::unique_ptr<store::StreamingDataset> source;
+  if (!manifest_path.empty()) {
+    source = std::make_unique<store::StoreStreamingDataset>(
+        store::ShardReader::open(
+            manifest_path,
+            store::parse_read_mode(
+                parser.get_string("store-mode", "buffered"))));
+  } else {
+    data::Dataset dataset = load_dataset(parser);
+    memory_data.matrix = dataset.by_row();
+    memory_data.labels.assign(dataset.labels().begin(),
+                              dataset.labels().end());
+    source = std::make_unique<store::MemoryShardedDataset>(
+        dataset.name(), memory_data,
+        static_cast<std::uint64_t>(parser.get_int("stream-shards", 4)));
+  }
+  std::printf("store: %s — %llu rows x %llu cols, %llu nnz, %zu shards\n",
+              source->name().c_str(),
+              static_cast<unsigned long long>(source->rows()),
+              static_cast<unsigned long long>(source->cols()),
+              static_cast<unsigned long long>(source->nnz()),
+              source->num_shards());
+
+  store::StreamingScdSolver solver(*source, config);
+  if (resuming) {
+    if (restored.rows != source->rows() || restored.cols != source->cols() ||
+        restored.shards != source->num_shards()) {
+      throw std::runtime_error(
+          "checkpoint shape does not match this store — bit-exact resume "
+          "is impossible");
+    }
+    solver.resume(static_cast<int>(restored.epoch), restored.shards_done,
+                  std::move(restored.alpha), std::move(restored.shared));
+  }
+
+  core::RunOptions run_options;
+  run_options.max_epochs = static_cast<int>(parser.get_int("epochs", 100));
+  run_options.target_gap = parser.get_double("target-gap", 1e-6);
+  run_options.record_interval = 1;
+  run_options.gap_every = static_cast<int>(parser.get_int("gap-every", 1));
+
+  store::CheckpointOptions checkpoint;
+  checkpoint.every_shards = static_cast<std::size_t>(
+      parser.get_int("checkpoint-every-shards", 0));
+  if (checkpoint.every_shards > 0 || parser.has("checkpoint")) {
+    checkpoint.path = parser.get_string("checkpoint", "tpascd.ckpt");
+  }
+
+  const auto trace = store::run_streaming(solver, run_options, checkpoint);
+  std::printf("trained %d epochs with %s: gap %.3e\n",
+              trace.points().back().epoch, solver.name().c_str(),
+              trace.final_gap());
+  const auto& stats = solver.prefetch_stats();
+  std::printf(
+      "prefetch: %llu loads, %llu stalls, %.3f s loading, %.3f s waiting, "
+      "overlap %.1f%%\n",
+      static_cast<unsigned long long>(stats.loads),
+      static_cast<unsigned long long>(stats.stalls), stats.load_seconds,
+      stats.wait_seconds, 100.0 * stats.overlap_fraction());
+
+  if (parser.has("save")) {
+    core::SavedModel model;
+    model.formulation = core::Formulation::kDual;
+    model.lambda = config.lambda;
+    model.epoch = static_cast<std::uint32_t>(solver.epochs_completed());
+    model.weights.assign(solver.alpha().begin(), solver.alpha().end());
+    model.shared.assign(solver.shared().begin(), solver.shared().end());
+    const auto path = parser.get_string("save", "");
+    core::write_model_file(path, model);
+    std::printf("model saved to %s\n", path.c_str());
+  }
+
+  write_trace_outputs(parser, trace, trace_out, chrome_trace);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +257,26 @@ int main(int argc, char** argv) {
                     "0");
   parser.add_option("workers", "distribute across this many workers", "1");
   parser.add_flag("adaptive", "use adaptive aggregation (Algorithm 4)");
+  parser.add_option("store",
+                    "train out-of-core from this shard-store manifest "
+                    "(see tpascd_shard)");
+  parser.add_option("store-mode", "shard read mode: buffered | mmap",
+                    "buffered");
+  parser.add_option("resident-shards",
+                    "decoded shards resident at once (2 = double buffer)",
+                    "2");
+  parser.add_option("stream-shards",
+                    "shard an in-memory dataset and run the streaming "
+                    "solver over it (bit-exact comparison arm for --store)",
+                    "0");
+  parser.add_flag("sync-prefetch",
+                  "load shards inline instead of prefetching (overlap "
+                  "control arm)");
+  parser.add_option("stream-threads",
+                    "threads per shard sweep in streaming mode", "1");
+  parser.add_option("checkpoint-every-shards",
+                    "streaming mode: checkpoint every N shards (0 = off)",
+                    "0");
   parser.add_option("save", "write the trained model here");
   parser.add_option("load", "load a model instead of training");
   parser.add_option("checkpoint", "checkpoint file for distributed runs",
@@ -150,6 +314,9 @@ int main(int argc, char** argv) {
   if (chrome_trace) obs::set_trace_enabled(true);
 
   try {
+    if (parser.has("store") || parser.get_int("stream-shards", 0) > 0) {
+      return run_streaming_mode(parser, trace_out, chrome_trace);
+    }
     const auto dataset = load_dataset(parser);
     std::printf("dataset: %s\n",
                 sparse::compute_stats(dataset.by_row()).summary().c_str());
@@ -294,29 +461,7 @@ int main(int argc, char** argv) {
       std::printf("model saved to %s\n", path.c_str());
     }
 
-    if (!trace_out.empty()) {
-      if (chrome_trace) {
-        obs::write_chrome_trace(trace_out);
-        std::printf("Chrome trace (%llu spans) written to %s\n",
-                    static_cast<unsigned long long>(
-                        obs::trace_events_recorded()),
-                    trace_out.c_str());
-      } else if (ends_with(trace_out, ".csv")) {
-        trace.write_csv_file(trace_out);
-        std::printf("convergence trace written to %s\n", trace_out.c_str());
-      } else {
-        trace.write_jsonl_file(trace_out);
-        std::printf("convergence trace written to %s\n", trace_out.c_str());
-      }
-    }
-    if (parser.has("metrics-out")) {
-      const auto path = parser.get_string("metrics-out", "");
-      auto out = tools::open_report(path);
-      out << tools::run_meta_json("tpascd_train") << '\n';
-      trace.write_jsonl(out);
-      obs::metrics().write_jsonl(out);
-      std::printf("run report written to %s\n", path.c_str());
-    }
+    write_trace_outputs(parser, trace, trace_out, chrome_trace);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
