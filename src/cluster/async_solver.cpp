@@ -1,0 +1,719 @@
+#include "cluster/async_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "sparse/io_binary.hpp"
+#include "util/timer.hpp"
+
+namespace tpa::cluster {
+namespace {
+
+constexpr char kAsyncStateMagic[4] = {'T', 'P', 'A', 'A'};
+constexpr std::uint32_t kAsyncStateVersion = 1;
+
+struct AsyncStateHeader {
+  std::uint32_t format_version = kAsyncStateVersion;
+  std::uint32_t num_workers = 0;
+  std::uint64_t round = 0;
+  std::uint64_t version = 0;
+  std::uint64_t seed = 0;
+};
+
+struct WorkerRecord {
+  std::uint64_t draws_consumed = 0;
+  std::uint32_t status = 0;
+  std::uint32_t crash_count = 0;
+  double restart_at = 0.0;
+};
+
+}  // namespace
+
+const char* staleness_policy_name(StalenessPolicy policy) {
+  return policy == StalenessPolicy::kDamp ? "damp" : "reject";
+}
+
+StalenessPolicy parse_staleness_policy(const std::string& name) {
+  if (name == "damp") return StalenessPolicy::kDamp;
+  if (name == "reject") return StalenessPolicy::kReject;
+  throw std::invalid_argument("unknown staleness policy '" + name +
+                              "' (damp | reject)");
+}
+
+const char* async_worker_status_name(AsyncWorkerStatus status) {
+  switch (status) {
+    case AsyncWorkerStatus::kComputing:
+      return "computing";
+    case AsyncWorkerStatus::kBackoff:
+      return "backoff";
+    case AsyncWorkerStatus::kDetached:
+      return "detached";
+  }
+  return "?";
+}
+
+std::string async_state_path(const std::string& model_path) {
+  return model_path + ".async";
+}
+
+void write_async_state_file(const std::string& path,
+                            const AsyncCheckpointState& state) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("async state: cannot open " + tmp +
+                               " for writing");
+    }
+    sparse::Fnv1a checksum;
+    const auto write_raw = [&](const void* data, std::size_t bytes) {
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(bytes));
+      checksum.update(data, bytes);
+    };
+    write_raw(kAsyncStateMagic, sizeof(kAsyncStateMagic));
+    AsyncStateHeader header;
+    header.num_workers = static_cast<std::uint32_t>(state.workers.size());
+    header.round = state.round;
+    header.version = state.version;
+    header.seed = state.seed;
+    write_raw(&header, sizeof(header));
+    for (const auto& worker : state.workers) {
+      WorkerRecord record;
+      record.draws_consumed = worker.draws_consumed;
+      record.status = worker.status;
+      record.crash_count = worker.crash_count;
+      record.restart_at = worker.restart_at;
+      write_raw(&record, sizeof(record));
+    }
+    const std::uint64_t digest = checksum.digest();
+    out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    if (!out) {
+      throw std::runtime_error("async state: write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("async state: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+AsyncCheckpointState read_async_state_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("async state: cannot open " + path);
+  }
+  sparse::Fnv1a checksum;
+  const auto read_raw = [&](void* data, std::size_t bytes, const char* what) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(in.gcount()) != bytes) {
+      throw std::runtime_error("async state: truncated reading " +
+                               std::string(what) + " from " + path);
+    }
+    checksum.update(data, bytes);
+  };
+  char magic[4];
+  read_raw(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kAsyncStateMagic, sizeof(kAsyncStateMagic)) != 0) {
+    throw std::runtime_error("async state: bad magic in " + path);
+  }
+  AsyncStateHeader header;
+  read_raw(&header, sizeof(header), "header");
+  if (header.format_version != kAsyncStateVersion) {
+    throw std::runtime_error("async state: unsupported format version " +
+                             std::to_string(header.format_version) + " in " +
+                             path);
+  }
+  AsyncCheckpointState state;
+  state.round = header.round;
+  state.version = header.version;
+  state.seed = header.seed;
+  state.workers.resize(header.num_workers);
+  for (auto& worker : state.workers) {
+    WorkerRecord record;
+    read_raw(&record, sizeof(record), "worker record");
+    worker.draws_consumed = record.draws_consumed;
+    worker.status = record.status;
+    worker.crash_count = record.crash_count;
+    worker.restart_at = record.restart_at;
+  }
+  const std::uint64_t expected = checksum.digest();
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(stored) ||
+      stored != expected) {
+    throw std::runtime_error("async state: checksum mismatch in " + path);
+  }
+  return state;
+}
+
+AsyncSolver::AsyncSolver(const data::Dataset& global,
+                         const AsyncConfig& config)
+    : global_(&global),
+      config_(config),
+      global_problem_(global, config.lambda),
+      injector_(config.faults),
+      global_workload_(
+          core::TimingWorkload::for_dataset(global, config.formulation)) {
+  const auto dim = global_problem_.num_coordinates(config.formulation);
+  validate_cluster_config("AsyncSolver", config.num_workers, dim,
+                          config.formulation, config.local_epochs_per_round,
+                          config.max_restarts);
+  if (config.staleness_window < 0) {
+    throw std::invalid_argument(
+        "AsyncSolver: staleness_window must be >= 0 (0 = auto)");
+  }
+  for (const auto& event : config.membership) {
+    if (event.round < 1 || event.worker < 0 ||
+        event.worker >= config.num_workers) {
+      throw std::invalid_argument(
+          "AsyncSolver: membership event (round " +
+          std::to_string(event.round) + ", worker " +
+          std::to_string(event.worker) +
+          ") must name a round >= 1 and a valid worker slot");
+    }
+  }
+  gpu_local_ = is_gpu_solver_kind(config.local_solver.kind);
+
+  // Same partition draw as the sync driver: with equal (seed, num_workers)
+  // the two arms of an ablation own identical shards.
+  util::Rng rng(config.seed);
+  partition_ = Partition::random(dim, config.num_workers, rng);
+  shared_.assign(global_problem_.shared_dim(config.formulation), 0.0F);
+
+  workers_.reserve(static_cast<std::size_t>(config.num_workers));
+  for (int k = 0; k < config.num_workers; ++k) {
+    auto worker = std::make_unique<Worker>();
+    init_worker_core(worker->core, global, partition_, k, config.formulation,
+                     config.lambda, config.local_solver);
+    // Calibrate the nominal per-epoch compute time from a throwaway probe
+    // solver on the same shard: the timing models are state-independent, so
+    // this one number makes the whole event timeline a pure function of
+    // (config, seeds) — the worker's real permutation stream stays untouched
+    // and the numerics never feed back into the clock.
+    core::SolverConfig probe_config = config.local_solver;
+    probe_config.formulation = config.formulation;
+    probe_config.seed =
+        config.local_solver.seed + static_cast<std::uint64_t>(k);
+    auto probe = core::make_solver(*worker->core.problem, probe_config);
+    worker->compute_seconds = probe->run_epoch().sim_seconds;
+    workers_.push_back(std::move(worker));
+  }
+
+  obs::set_track_name(kAsyncMasterTrack, "async/master");
+  for (int k = 0; k < config.num_workers; ++k) {
+    obs::set_track_name(worker_track(kAsyncMasterTrack, k),
+                        "async/worker " + std::to_string(k));
+  }
+}
+
+void AsyncSolver::record_event(int worker, core::ClusterEventKind kind) {
+  record_cluster_event(events_, round_, worker, kind, kAsyncMasterTrack);
+}
+
+int AsyncSolver::live_workers() const {
+  int live = 0;
+  for (const auto& worker : workers_) {
+    if (worker->status != AsyncWorkerStatus::kDetached) ++live;
+  }
+  return live;
+}
+
+AsyncWorkerStatus AsyncSolver::worker_status(int worker) const {
+  return workers_.at(static_cast<std::size_t>(worker))->status;
+}
+
+int AsyncSolver::effective_staleness_window() const {
+  return config_.staleness_window > 0
+             ? config_.staleness_window
+             : core::cluster_staleness_window(live_workers());
+}
+
+double AsyncSolver::nominal_cycle_seconds(const Worker& worker) const {
+  const std::size_t shared_bytes =
+      static_cast<std::size_t>(global_workload_.shared_dim) * sizeof(float);
+  // Point-to-point pull + push instead of the sync tree: the master link is
+  // modelled at the same granularity as the reduce/broadcast trees (no
+  // master-side serialization), which favours neither arm — both charge one
+  // latency + bytes/bw term per hop.
+  double network =
+      2.0 * config_.network.point_to_point_seconds(shared_bytes);
+  if (config_.aggregation == AggregationMode::kAdaptive) {
+    network += config_.network.point_to_point_seconds(5 * sizeof(double));
+  }
+  const auto shared_elems = static_cast<double>(global_workload_.shared_dim);
+  const auto coords_per_worker =
+      static_cast<double>(global_workload_.num_coordinates) /
+      config_.num_workers;
+  // Forming Δw and applying γθΔw on the master, plus forming / rescaling the
+  // local weight delta — the same vector arithmetic the sync driver charges.
+  const double host =
+      config_.local_solver.cpu_cost.seconds_per_vector_element *
+      (2.0 * shared_elems + 2.0 * coords_per_worker);
+  double pcie = 0.0;
+  if (gpu_local_) {
+    gpusim::PcieLink link;
+    pcie = 2.0 * link.transfer_seconds(shared_bytes, /*pinned=*/true);
+  }
+  const double compute =
+      config_.local_epochs_per_round * worker.compute_seconds;
+  return network + host + pcie + compute;
+}
+
+double AsyncSolver::cycle_seconds(const Worker& worker) const {
+  double seconds = nominal_cycle_seconds(worker);
+  if (worker.fault.kind == FaultKind::kStall) {
+    const double slowdown = std::max(1.0, worker.fault.stall_factor) - 1.0;
+    seconds += slowdown * config_.local_epochs_per_round *
+               worker.compute_seconds;
+  }
+  return seconds;
+}
+
+void AsyncSolver::handle_crash(Worker& worker, int index) {
+  ++worker.crash_count;
+  record_event(index, core::ClusterEventKind::kCrash);
+  if (worker.crash_count > config_.max_restarts) {
+    worker.status = AsyncWorkerStatus::kDetached;
+    record_event(index, core::ClusterEventKind::kEvict);
+  } else {
+    worker.status = AsyncWorkerStatus::kBackoff;
+    worker.restart_pending = true;
+    worker.event_at =
+        now_ + std::ldexp(nominal_cycle_seconds(worker),
+                          worker.crash_count - 1);
+  }
+}
+
+void AsyncSolver::discard_in_flight(Worker& worker) {
+  if (!worker.busy) return;
+  // The cycle's permutation draws stay consumed (draws_consumed already
+  // counts them), so the stream position survives the discard.
+  worker.core.solver->mutable_state().weights = worker.weights_start;
+  worker.busy = false;
+}
+
+void AsyncSolver::apply_membership(int round) {
+  for (const auto& event : config_.membership) {
+    if (event.round != round) continue;
+    auto& worker = *workers_[event.worker];
+    if (event.kind == MembershipEvent::Kind::kLeave) {
+      if (worker.status == AsyncWorkerStatus::kDetached) continue;
+      discard_in_flight(worker);
+      worker.restart_pending = false;
+      worker.status = AsyncWorkerStatus::kDetached;
+      record_event(event.worker, core::ClusterEventKind::kLeave);
+    } else {
+      if (worker.status != AsyncWorkerStatus::kDetached) continue;
+      // The joiner adopts the frozen partition: its committed weights are
+      // already the master's view of those coordinates, and its first pull
+      // cold-starts it from the master's current shared vector.
+      worker.status = AsyncWorkerStatus::kComputing;
+      worker.crash_count = 0;
+      worker.restart_pending = false;
+      record_event(event.worker, core::ClusterEventKind::kJoin);
+    }
+  }
+}
+
+void AsyncSolver::schedule_cycle(int index) {
+  auto& worker = *workers_[index];
+  const int passes = config_.local_epochs_per_round;
+  // One fault draw per (round, worker), so a crash cannot re-fire on the
+  // restart path within the same round and spiral straight to eviction.
+  if (worker.fault_round != round_) {
+    worker.round_fault = injector_.query(round_, index);
+    worker.fault_round = round_;
+    worker.crashed_this_round = false;
+  }
+  FaultEvent fault = worker.round_fault;
+  if (fault.kind == FaultKind::kCrash && worker.crashed_this_round) {
+    fault.kind = FaultKind::kNone;
+  }
+
+  if (fault.kind == FaultKind::kCrash) {
+    // The crash costs the whole local epoch's randomness, like the sync
+    // driver: stream positions advance whether or not the work survives.
+    worker.crashed_this_round = true;
+    worker.core.solver->skip_epoch_randomness(passes);
+    worker.draws_consumed += static_cast<std::uint64_t>(passes);
+    handle_crash(worker, index);
+    return;
+  }
+
+  worker.busy = true;
+  worker.fault = fault;
+  worker.pulled_version = version_;
+  worker.pulled_shared = shared_;
+  auto& state = worker.core.solver->mutable_state();
+  state.shared.assign(shared_.begin(), shared_.end());
+  worker.weights_start = state.weights;
+  {
+    obs::TraceSpan span("async/local_solve",
+                        worker_track(kAsyncMasterTrack, index), round_);
+    for (int pass = 0; pass < passes; ++pass) {
+      worker.core.solver->run_epoch();
+    }
+  }
+  worker.draws_consumed += static_cast<std::uint64_t>(passes);
+  worker.event_at = now_ + cycle_seconds(worker);
+}
+
+void AsyncSolver::complete_cycle(int index) {
+  auto& worker = *workers_[index];
+  worker.busy = false;
+  auto& state = worker.core.solver->mutable_state();
+  ++pushes_this_round_;
+  obs::metrics().counter("cluster.async.pushes").add();
+  const std::uint64_t staleness = version_ - worker.pulled_version;
+  obs::metrics()
+      .histogram("cluster.async.staleness")
+      .record(static_cast<double>(staleness));
+
+  const auto rollback = [&] { state.weights = worker.weights_start; };
+
+  if (worker.fault.kind == FaultKind::kDropDelta) {
+    rollback();
+    record_event(index, core::ClusterEventKind::kDeltaDropped);
+    return;
+  }
+
+  std::vector<double> dshared(shared_.size());
+  for (std::size_t i = 0; i < shared_.size(); ++i) {
+    dshared[i] = static_cast<double>(state.shared[i]) -
+                 static_cast<double>(worker.pulled_shared[i]);
+  }
+
+  if (worker.fault.kind == FaultKind::kCorruptDelta) {
+    const std::uint64_t sent = delta_checksum(dshared);
+    corrupt_in_transit(dshared);
+    if (delta_checksum(dshared) != sent) {
+      rollback();
+      record_event(index, core::ClusterEventKind::kDeltaCorrupted);
+      return;
+    }
+  }
+
+  // ---- Bounded-staleness rule: versions elapsed since this worker's pull,
+  // against the (possibly adaptive) window.
+  const int window = effective_staleness_window();
+  double theta = 1.0;
+  if (staleness > static_cast<std::uint64_t>(window)) {
+    if (config_.staleness_policy == StalenessPolicy::kReject) {
+      rollback();
+      record_event(index, core::ClusterEventKind::kStaleRejected);
+      return;
+    }
+    theta = core::cluster_staleness_damping(staleness, window);
+    record_event(index, core::ClusterEventKind::kStaleDamped);
+  }
+
+  // ---- γ rescaled to live contributors; adaptive mode runs the Algorithm 4
+  // line search per delta against the master's *current* state (the exact
+  // optimum along the delta direction, so even a stale direction is a
+  // monotone step before damping).
+  const auto f = config_.formulation;
+  const int live = std::max(1, live_workers());
+  const double fallback_gamma = 1.0 / live;
+  double gamma = fallback_gamma;
+  if (config_.aggregation == AggregationMode::kFixed) {
+    gamma = config_.fixed_gamma;
+  } else if (config_.aggregation == AggregationMode::kAdaptive) {
+    PrimalGammaTerms pterms;
+    DualGammaTerms dterms;
+    accumulate_gamma_terms(f, worker.core.shard.labels(),
+                           worker.weights_start, state.weights, pterms,
+                           dterms);
+    double shared_sq = 0.0;
+    double dshared_sq = 0.0;
+    double shared_dot_dshared = 0.0;
+    for (std::size_t i = 0; i < shared_.size(); ++i) {
+      shared_sq += static_cast<double>(shared_[i]) * shared_[i];
+      dshared_sq += dshared[i] * dshared[i];
+      shared_dot_dshared += static_cast<double>(shared_[i]) * dshared[i];
+    }
+    const bool direction_is_noise =
+        dshared_sq <= 1e-10 * std::max(1.0, shared_sq);
+    if (direction_is_noise) {
+      gamma = fallback_gamma;
+    } else if (f == core::Formulation::kPrimal) {
+      const auto labels = global_->labels();
+      pterms.dw_sq = dshared_sq;
+      for (std::size_t i = 0; i < shared_.size(); ++i) {
+        pterms.y_minus_w_dot_dw +=
+            (static_cast<double>(labels[i]) - shared_[i]) * dshared[i];
+      }
+      gamma = optimal_gamma_primal(
+          pterms, static_cast<double>(global_problem_.num_examples()),
+          config_.lambda, fallback_gamma);
+    } else {
+      dterms.dwbar_sq = dshared_sq;
+      dterms.wbar_dot_dwbar = shared_dot_dshared;
+      gamma = optimal_gamma_dual(
+          dterms, static_cast<double>(global_problem_.num_examples()),
+          config_.lambda, fallback_gamma);
+    }
+  }
+  last_gamma_ = gamma;
+
+  // ---- Apply: master shared vector and the worker's committed weights move
+  // by the same γθ, so shared == A·(assembled weights) is preserved exactly
+  // (the invariant is linear in the delta).
+  const double step = gamma * theta;
+  const double apply_begin_us =
+      obs::trace_enabled() ? obs::trace_now_us() : 0.0;
+  for (std::size_t i = 0; i < shared_.size(); ++i) {
+    shared_[i] = static_cast<float>(shared_[i] + step * dshared[i]);
+  }
+  for (std::size_t j = 0; j < state.weights.size(); ++j) {
+    const double start = worker.weights_start[j];
+    const double delta = static_cast<double>(state.weights[j]) - start;
+    state.weights[j] = static_cast<float>(start + step * delta);
+  }
+  ++version_;
+  applied_updates_ += state.weights.size();
+  obs::metrics().counter("cluster.async.applied").add();
+  if (obs::trace_enabled()) {
+    obs::trace_complete("async/apply", apply_begin_us,
+                        obs::trace_now_us() - apply_begin_us,
+                        kAsyncMasterTrack, static_cast<std::int64_t>(version_));
+  }
+}
+
+core::EpochReport AsyncSolver::run_epoch() {
+  const util::WallTimer timer;
+  ++round_;
+  obs::TraceSpan round_span("async/round", kAsyncMasterTrack, round_);
+  obs::metrics().counter("cluster.async.rounds").add();
+  const double round_start = now_;
+  pushes_this_round_ = 0;
+  applied_updates_ = 0;
+
+  apply_membership(round_);
+
+  // Round start: every idle computing worker begins a cycle.  Workers whose
+  // previous cycle straddles the boundary keep flying — that is the point of
+  // no-barrier rounds — and backoff workers keep their restart timers.
+  for (int k = 0; k < config_.num_workers; ++k) {
+    auto& worker = *workers_[k];
+    if (worker.status == AsyncWorkerStatus::kComputing && !worker.busy &&
+        !worker.restart_pending) {
+      schedule_cycle(k);
+    }
+  }
+
+  // Event loop: pop the earliest pending event (ties break by slot) until
+  // the master has absorbed one push attempt per live member.  Every push —
+  // applied, damped, rejected, dropped or corrupted — counts as absorbed, so
+  // a round makes progress even under total delta loss.
+  while (true) {
+    const int live = live_workers();
+    if (live == 0 || pushes_this_round_ >= static_cast<std::uint64_t>(live)) {
+      break;
+    }
+    int next = -1;
+    for (int k = 0; k < config_.num_workers; ++k) {
+      const auto& worker = *workers_[k];
+      if (!worker.busy && !worker.restart_pending) continue;
+      if (next < 0 || worker.event_at < workers_[next]->event_at) {
+        next = k;
+      }
+    }
+    if (next < 0) break;  // no events pending: nothing can push this round
+    auto& worker = *workers_[next];
+    now_ = std::max(now_, worker.event_at);
+    if (worker.restart_pending) {
+      worker.restart_pending = false;
+      worker.status = AsyncWorkerStatus::kComputing;
+      record_event(next, core::ClusterEventKind::kRestart);
+      schedule_cycle(next);
+      continue;
+    }
+    complete_cycle(next);
+    if (worker.status == AsyncWorkerStatus::kComputing && !worker.busy &&
+        !worker.restart_pending) {
+      schedule_cycle(next);
+    }
+  }
+
+  last_contributors_ = live_workers();
+  obs::metrics().gauge("cluster.async.version").set(
+      static_cast<double>(version_));
+
+  core::EpochReport report;
+  report.coordinate_updates = applied_updates_;
+  report.sim_seconds = now_ - round_start;
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+double AsyncSolver::duality_gap(util::ThreadPool* pool) const {
+  const auto weights = global_weights();
+  return global_problem_.duality_gap(config_.formulation, weights, shared_,
+                                     pool);
+}
+
+void AsyncSolver::set_merge_every(int merge_every) {
+  for (auto& worker : workers_) {
+    worker->core.solver->set_merge_every(merge_every);
+  }
+}
+
+double AsyncSolver::setup_sim_seconds() const {
+  double slowest = 0.0;
+  for (const auto& worker : workers_) {
+    slowest = std::max(slowest, worker->core.solver->setup_sim_seconds());
+  }
+  return slowest;
+}
+
+std::vector<float> AsyncSolver::global_weights() const {
+  std::vector<float> weights(
+      global_problem_.num_coordinates(config_.formulation), 0.0F);
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    const auto& worker = *workers_[k];
+    // A busy worker's solver state is mid-cycle (schedule-time numerics run
+    // the local epochs eagerly); its committed weights — the ones the
+    // master's shared vector reflects — are the snapshot taken at its pull.
+    const auto& local = worker.busy ? worker.weights_start
+                                    : worker.core.solver->state().weights;
+    const auto& owned = partition_.owned[k];
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      weights[owned[j]] = local[j];
+    }
+  }
+  return weights;
+}
+
+core::SavedModel AsyncSolver::checkpoint() {
+  // Rendezvous: drop in-flight cycles (their draws stay consumed) and
+  // re-zero the simulated clock, shifting pending restart timers with it.
+  // The post-rendezvous state is then numerically identical to what
+  // restore() rebuilds — including the absolute event times the timeline
+  // comparisons see, so resumed and straight-through runs cannot diverge on
+  // floating-point tie-breaks.
+  for (auto& worker : workers_) {
+    discard_in_flight(*worker);
+    if (worker->restart_pending) worker->event_at -= now_;
+  }
+  now_ = 0.0;
+
+  core::SavedModel saved;
+  saved.formulation = config_.formulation;
+  saved.lambda = config_.lambda;
+  saved.epoch = static_cast<std::uint32_t>(round_);
+  saved.weights = global_weights();
+  saved.shared = shared_;
+  return saved;
+}
+
+AsyncCheckpointState AsyncSolver::checkpoint_state() const {
+  AsyncCheckpointState state;
+  state.round = static_cast<std::uint64_t>(round_);
+  state.version = version_;
+  state.seed = config_.seed;
+  state.workers.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    AsyncCheckpointState::WorkerState ws;
+    ws.draws_consumed = worker->draws_consumed;
+    ws.status = static_cast<std::uint32_t>(worker->status);
+    ws.crash_count = static_cast<std::uint32_t>(worker->crash_count);
+    ws.restart_at = worker->restart_pending ? worker->event_at : 0.0;
+    state.workers.push_back(ws);
+  }
+  return state;
+}
+
+void AsyncSolver::write_checkpoint_file(const std::string& path) {
+  core::write_model_file(path, checkpoint());
+  write_async_state_file(async_state_path(path), checkpoint_state());
+}
+
+void AsyncSolver::restore(const core::SavedModel& saved,
+                          const AsyncCheckpointState& state) {
+  if (round_ != 0) {
+    throw std::logic_error(
+        "AsyncSolver::restore: must be called on a fresh solver (rounds "
+        "have already run)");
+  }
+  if (saved.formulation != config_.formulation) {
+    throw std::invalid_argument(
+        "AsyncSolver::restore: checkpoint formulation mismatch");
+  }
+  if (saved.weights.size() !=
+          static_cast<std::size_t>(
+              global_problem_.num_coordinates(config_.formulation)) ||
+      saved.shared.size() != shared_.size()) {
+    throw std::invalid_argument(
+        "AsyncSolver::restore: checkpoint dimensions do not match the "
+        "dataset/partition");
+  }
+  if (saved.lambda != config_.lambda) {
+    throw std::invalid_argument(
+        "AsyncSolver::restore: checkpoint lambda " +
+        std::to_string(saved.lambda) + " != configured " +
+        std::to_string(config_.lambda));
+  }
+  if (state.workers.size() != workers_.size()) {
+    throw std::invalid_argument(
+        "AsyncSolver::restore: sidecar worker count " +
+        std::to_string(state.workers.size()) + " != configured " +
+        std::to_string(workers_.size()));
+  }
+  if (state.seed != config_.seed) {
+    throw std::invalid_argument(
+        "AsyncSolver::restore: sidecar seed mismatch (the partition and "
+        "fault schedule would not replay)");
+  }
+  if (static_cast<std::uint64_t>(saved.epoch) != state.round) {
+    throw std::invalid_argument(
+        "AsyncSolver::restore: model epoch " + std::to_string(saved.epoch) +
+        " != sidecar round " + std::to_string(state.round) +
+        " (mismatched checkpoint pair)");
+  }
+
+  shared_.assign(saved.shared.begin(), saved.shared.end());
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    auto& worker = *workers_[k];
+    const auto& ws = state.workers[k];
+    auto& solver_state = worker.core.solver->mutable_state();
+    const auto& owned = partition_.owned[k];
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      solver_state.weights[j] = saved.weights[owned[j]];
+    }
+    solver_state.shared.assign(shared_.begin(), shared_.end());
+    worker.weights_start = solver_state.weights;
+    worker.core.solver->skip_epoch_randomness(
+        static_cast<int>(ws.draws_consumed));
+    worker.draws_consumed = ws.draws_consumed;
+    worker.status = static_cast<AsyncWorkerStatus>(ws.status);
+    worker.crash_count = static_cast<int>(ws.crash_count);
+    worker.busy = false;
+    worker.restart_pending = worker.status == AsyncWorkerStatus::kBackoff;
+    worker.event_at = ws.restart_at;
+    worker.fault_round = -1;
+  }
+  round_ = static_cast<int>(state.round);
+  version_ = state.version;
+  now_ = 0.0;
+}
+
+void AsyncSolver::restore_files(const std::string& path) {
+  restore(core::read_model_file(path),
+          read_async_state_file(async_state_path(path)));
+}
+
+core::ConvergenceTrace run_async(AsyncSolver& solver,
+                                 const core::RunOptions& options,
+                                 const CheckpointConfig& ckpt) {
+  return run_cluster_loop(solver, options, ckpt, kAsyncMasterTrack);
+}
+
+}  // namespace tpa::cluster

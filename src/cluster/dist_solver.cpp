@@ -15,38 +15,6 @@
 #include "util/timer.hpp"
 
 namespace tpa::cluster {
-namespace {
-
-// Virtual trace tracks: the simulation runs on one OS thread, but the
-// exported timeline should still read as a cluster — one track for the
-// master's reduce/broadcast phases and one per simulated worker.
-constexpr std::int32_t kMasterTrack = 1000;
-
-constexpr std::int32_t worker_track(int worker) {
-  return worker < 0 ? kMasterTrack : kMasterTrack + 1 + worker;
-}
-
-bool is_gpu_kind(core::SolverKind kind) {
-  return kind == core::SolverKind::kTpaM4000 ||
-         kind == core::SolverKind::kTpaTitanX;
-}
-
-/// Simulated transit corruption: flip one mantissa bit of the first entry.
-/// Any single-bit change defeats FNV-1a, which is the point — the master
-/// must notice without trusting the payload.
-void corrupt_in_transit(std::vector<double>& delta) {
-  if (delta.empty()) return;
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, delta.data(), sizeof(bits));
-  bits ^= 0x1ULL;
-  std::memcpy(delta.data(), &bits, sizeof(bits));
-}
-
-std::uint64_t delta_checksum(const std::vector<double>& delta) {
-  return sparse::fnv1a(delta.data(), delta.size() * sizeof(double));
-}
-
-}  // namespace
 
 const char* worker_status_name(WorkerStatus status) {
   switch (status) {
@@ -70,38 +38,16 @@ DistributedSolver::DistributedSolver(const data::Dataset& global,
       injector_(config.faults),
       global_workload_(core::TimingWorkload::for_dataset(
           global, config.formulation)) {
-  if (config.num_workers <= 0) {
-    throw std::invalid_argument(
-        "DistributedSolver: num_workers must be positive, got " +
-        std::to_string(config.num_workers));
-  }
   const auto dim = global_problem_.num_coordinates(config.formulation);
-  if (static_cast<data::Index>(config.num_workers) > dim) {
-    throw std::invalid_argument(
-        "DistributedSolver: num_workers (" +
-        std::to_string(config.num_workers) +
-        ") exceeds the partitionable dimension (" + std::to_string(dim) +
-        " " +
-        (config.formulation == core::Formulation::kPrimal ? "features"
-                                                          : "examples") +
-        " for the " + std::string(formulation_name(config.formulation)) +
-        " form); some workers would own no coordinates");
-  }
-  if (config.local_epochs_per_round <= 0) {
-    throw std::invalid_argument(
-        "DistributedSolver: local_epochs_per_round must be >= 1, got " +
-        std::to_string(config.local_epochs_per_round));
-  }
+  validate_cluster_config("DistributedSolver", config.num_workers, dim,
+                          config.formulation, config.local_epochs_per_round,
+                          config.max_restarts);
   if (config.straggler_grace <= 1.0) {
     throw std::invalid_argument(
         "DistributedSolver: straggler_grace must be > 1 (the deadline must "
         "allow at least a full healthy epoch)");
   }
-  if (config.max_restarts < 0) {
-    throw std::invalid_argument(
-        "DistributedSolver: max_restarts must be non-negative");
-  }
-  gpu_local_ = is_gpu_kind(config.local_solver.kind);
+  gpu_local_ = is_gpu_solver_kind(config.local_solver.kind);
 
   util::Rng rng(config.seed);
   partition_ = Partition::random(dim, config.num_workers, rng);
@@ -110,42 +56,21 @@ DistributedSolver::DistributedSolver(const data::Dataset& global,
   workers_.reserve(static_cast<std::size_t>(config.num_workers));
   for (int k = 0; k < config.num_workers; ++k) {
     auto worker = std::make_unique<Worker>();
-    worker->shard =
-        make_shard(global, config.formulation, partition_.owned[k]);
-    // The shard problem carries the *global* example count so the λN terms
-    // of the local update rule match the global objective (Section IV.A).
-    worker->problem = std::make_unique<core::RidgeProblem>(
-        worker->shard, config.lambda, global.num_examples());
-    core::SolverConfig local = config.local_solver;
-    local.formulation = config.formulation;
-    local.seed = config.local_solver.seed + static_cast<std::uint64_t>(k);
-    worker->solver = core::make_solver(*worker->problem, local);
+    init_worker_core(worker->core, global, partition_, k, config.formulation,
+                     config.lambda, config.local_solver);
     workers_.push_back(std::move(worker));
   }
 
   obs::set_track_name(kMasterTrack, "dist/master");
   for (int k = 0; k < config.num_workers; ++k) {
-    obs::set_track_name(worker_track(k), "dist/worker " + std::to_string(k));
+    obs::set_track_name(worker_track(kMasterTrack, k),
+                        "dist/worker " + std::to_string(k));
   }
 }
 
 void DistributedSolver::record_event(int worker,
                                      core::ClusterEventKind kind) {
-  core::ClusterEvent event;
-  event.epoch = epoch_;
-  event.worker = worker;
-  event.kind = kind;
-  events_.push_back(event);
-  // Every trace-level cluster event also lands as (a) a counter, so the
-  // --metrics-out report's cluster.event.* values match
-  // ConvergenceTrace::count_events exactly, and (b) a trace instant on the
-  // affected worker's track, so crashes and restarts are visible between the
-  // solve spans of a fault-drill timeline.
-  obs::metrics()
-      .counter(std::string("cluster.event.") + core::cluster_event_name(kind))
-      .add();
-  obs::trace_instant(core::cluster_event_name(kind), worker_track(worker),
-                     epoch_);
+  record_cluster_event(events_, epoch_, worker, kind, kMasterTrack);
 }
 
 void DistributedSolver::handle_crash(Worker& worker, int index) {
@@ -191,11 +116,11 @@ core::EpochReport DistributedSolver::run_epoch() {
     const int index = static_cast<int>(k);
 
     if (worker.status == WorkerStatus::kEvicted) {
-      worker.solver->skip_epoch_randomness(local_passes);
+      worker.core.solver->skip_epoch_randomness(local_passes);
       continue;
     }
     if (worker.status == WorkerStatus::kBackoff) {
-      worker.solver->skip_epoch_randomness(local_passes);
+      worker.core.solver->skip_epoch_randomness(local_passes);
       if (--worker.backoff_remaining <= 0) {
         worker.status = WorkerStatus::kActive;
         record_event(index, core::ClusterEventKind::kRestart);
@@ -206,7 +131,7 @@ core::EpochReport DistributedSolver::run_epoch() {
     fault[k] = injector_.query(epoch_, index);
 
     if (worker.status == WorkerStatus::kInFlight) {
-      worker.solver->skip_epoch_randomness(local_passes);
+      worker.core.solver->skip_epoch_randomness(local_passes);
       if (fault[k].kind == FaultKind::kCrash) {
         handle_crash(worker, index);
         continue;
@@ -220,21 +145,21 @@ core::EpochReport DistributedSolver::run_epoch() {
 
     // Active worker.  A crash costs the whole local epoch; nothing to run.
     if (fault[k].kind == FaultKind::kCrash) {
-      worker.solver->skip_epoch_randomness(local_passes);
+      worker.core.solver->skip_epoch_randomness(local_passes);
       handle_crash(worker, index);
       continue;
     }
 
     // Broadcast: the worker starts its epoch from the master's shared
     // vector (its local copy then diverges as it applies local updates).
-    obs::TraceSpan solve_span("dist/local_solve", worker_track(index),
-                              epoch_);
-    auto& state = worker.solver->mutable_state();
+    obs::TraceSpan solve_span("dist/local_solve",
+                              worker_track(kMasterTrack, index), epoch_);
+    auto& state = worker.core.solver->mutable_state();
     state.shared.assign(shared_.begin(), shared_.end());
     worker.weights_start = state.weights;
     double local_seconds = 0.0;
     for (int pass = 0; pass < local_passes; ++pass) {
-      local_seconds += worker.solver->run_epoch().sim_seconds;
+      local_seconds += worker.core.solver->run_epoch().sim_seconds;
     }
     ran[k] = true;
     run_seconds[k] = local_seconds;
@@ -279,7 +204,7 @@ core::EpochReport DistributedSolver::run_epoch() {
   for (std::size_t k = 0; k < num_workers; ++k) {
     if (!ran[k]) continue;
     auto& worker = *workers_[k];
-    auto& state = worker.solver->mutable_state();
+    auto& state = worker.core.solver->mutable_state();
     const int index = static_cast<int>(k);
     const double effective =
         fault[k].kind == FaultKind::kStall
@@ -350,8 +275,8 @@ core::EpochReport DistributedSolver::run_epoch() {
   for (std::size_t k = 0; k < num_workers; ++k) {
     if (outcome[k] == Outcome::kIdle) continue;
     auto& worker = *workers_[k];
-    const auto& state = worker.solver->state();
-    const auto labels = worker.shard.labels();
+    const auto& state = worker.core.solver->state();
+    const auto labels = worker.core.shard.labels();
     ++contributors;
     if (outcome[k] == Outcome::kFresh) {
       // Δw^(t,k), summed straight into the master's accumulator (Reduce).
@@ -360,18 +285,8 @@ core::EpochReport DistributedSolver::run_epoch() {
       }
       // Local scalar terms for adaptive aggregation (Algorithm 4):
       // computable on each worker because coordinate ownership is disjoint.
-      for (std::size_t j = 0; j < state.weights.size(); ++j) {
-        const double start = worker.weights_start[j];
-        const double delta = static_cast<double>(state.weights[j]) - start;
-        if (f == core::Formulation::kPrimal) {
-          pterms.beta_dot_dbeta += start * delta;
-          pterms.dbeta_sq += delta * delta;
-        } else {
-          dterms.dalpha_dot_y += delta * labels[j];
-          dterms.dalpha_dot_alpha += start * delta;
-          dterms.dalpha_sq += delta * delta;
-        }
-      }
+      accumulate_gamma_terms(f, labels, worker.weights_start, state.weights,
+                             pterms, dterms);
     } else {
       // A straggler's stale delta, finally off the wire.  The invariant is
       // linear in the delta, so incorporating it late is exact; only the
@@ -457,7 +372,7 @@ core::EpochReport DistributedSolver::run_epoch() {
     for (std::size_t k = 0; k < num_workers; ++k) {
       if (outcome[k] == Outcome::kIdle) continue;
       auto& worker = *workers_[k];
-      auto& state = worker.solver->mutable_state();
+      auto& state = worker.core.solver->mutable_state();
       if (outcome[k] == Outcome::kFresh) {
         for (std::size_t j = 0; j < state.weights.size(); ++j) {
           const double start = worker.weights_start[j];
@@ -539,14 +454,14 @@ double DistributedSolver::duality_gap(util::ThreadPool* pool) const {
 
 void DistributedSolver::set_merge_every(int merge_every) {
   for (auto& worker : workers_) {
-    worker->solver->set_merge_every(merge_every);
+    worker->core.solver->set_merge_every(merge_every);
   }
 }
 
 double DistributedSolver::setup_sim_seconds() const {
   double slowest = 0.0;
   for (const auto& worker : workers_) {
-    slowest = std::max(slowest, worker->solver->setup_sim_seconds());
+    slowest = std::max(slowest, worker->core.solver->setup_sim_seconds());
   }
   return slowest;
 }
@@ -555,7 +470,7 @@ std::vector<float> DistributedSolver::global_weights() const {
   std::vector<float> weights(
       global_problem_.num_coordinates(config_.formulation), 0.0F);
   for (std::size_t k = 0; k < workers_.size(); ++k) {
-    const auto& local = workers_[k]->solver->state().weights;
+    const auto& local = workers_[k]->core.solver->state().weights;
     const auto& owned = partition_.owned[k];
     for (std::size_t j = 0; j < owned.size(); ++j) {
       weights[owned[j]] = local[j];
@@ -608,7 +523,7 @@ void DistributedSolver::restore(const core::SavedModel& saved) {
       static_cast<int>(saved.epoch) * config_.local_epochs_per_round;
   for (std::size_t k = 0; k < workers_.size(); ++k) {
     auto& worker = *workers_[k];
-    auto& state = worker.solver->mutable_state();
+    auto& state = worker.core.solver->mutable_state();
     const auto& owned = partition_.owned[k];
     for (std::size_t j = 0; j < owned.size(); ++j) {
       state.weights[j] = saved.weights[owned[j]];
@@ -619,7 +534,7 @@ void DistributedSolver::restore(const core::SavedModel& saved) {
     // local_epochs_per_round shuffles per outer epoch no matter what
     // happened to it, so position == epoch is an invariant and a resumed
     // fault-free run replays the original bit-for-bit.
-    worker.solver->skip_epoch_randomness(skip);
+    worker.core.solver->skip_epoch_randomness(skip);
     // A resume is a cluster-wide cold restart: everyone comes back.
     worker.status = WorkerStatus::kActive;
     worker.crash_count = 0;
@@ -629,81 +544,14 @@ void DistributedSolver::restore(const core::SavedModel& saved) {
   epoch_ = static_cast<int>(saved.epoch);
 }
 
-namespace {
-
-// Master-side checkpoint: one span for the model write, plus the same
-// counter + instant pairing record_event gives worker events, so the
-// metrics report's cluster.event.checkpoint matches the trace's
-// kCheckpoint count.
-void write_checkpoint(const CheckpointConfig& ckpt,
-                      const DistributedSolver& solver, int epoch,
-                      core::ConvergenceTrace& trace) {
-  obs::TraceSpan span("train/checkpoint", kMasterTrack, epoch);
-  core::write_model_file(ckpt.path, solver.checkpoint());
-  trace.add_event({epoch, -1, core::ClusterEventKind::kCheckpoint});
-  obs::metrics().counter("cluster.event.checkpoint").add();
-  obs::trace_instant("checkpoint", kMasterTrack, epoch);
+void DistributedSolver::write_checkpoint_file(const std::string& path) const {
+  core::write_model_file(path, checkpoint());
 }
-
-}  // namespace
 
 core::ConvergenceTrace run_distributed(DistributedSolver& solver,
                                        const core::RunOptions& options,
                                        const CheckpointConfig& ckpt) {
-  core::ConvergenceTrace trace;
-  double sim_total =
-      options.include_setup_time ? solver.setup_sim_seconds() : 0.0;
-  double wall_total = 0.0;
-  const int start_epoch = solver.current_epoch();
-  std::size_t seen_events = solver.events().size();
-  int last_checkpointed = start_epoch;
-  const int interval = core::effective_gap_interval(options);
-  if (options.merge_every != 0) {
-    solver.set_merge_every(options.merge_every);
-  }
-  // Same crossover as run_solver: only pay for a pool when the global gap
-  // evaluation is predicted to beat the serial pass on this host.
-  const int gap_threads = core::pool_dispatch().dispatch_threads(
-      solver.global_problem().dataset().nnz(), options.gap_threads);
-  std::unique_ptr<util::ThreadPool> gap_pool;
-  if (gap_threads > 1) {
-    gap_pool = std::make_unique<util::ThreadPool>(
-        static_cast<std::size_t>(gap_threads));
-  }
-  for (int epoch = start_epoch + 1; epoch <= options.max_epochs; ++epoch) {
-    const auto report = solver.run_epoch();
-    sim_total += report.sim_seconds;
-    wall_total += report.wall_seconds;
-    const auto& events = solver.events();
-    for (; seen_events < events.size(); ++seen_events) {
-      trace.add_event(events[seen_events]);
-    }
-    if (ckpt.enabled() && epoch % ckpt.every_epochs == 0) {
-      write_checkpoint(ckpt, solver, epoch, trace);
-      last_checkpointed = epoch;
-    }
-    if (epoch % interval == 0 || epoch == options.max_epochs) {
-      core::TracePoint point;
-      point.epoch = epoch;
-      {
-        obs::TraceSpan span("train/gap_eval", kMasterTrack, epoch);
-        point.gap = solver.duality_gap(gap_pool.get());
-      }
-      obs::metrics().counter("train.gap_evals").add();
-      point.sim_seconds = sim_total;
-      point.wall_seconds = wall_total;
-      point.gamma = solver.last_gamma();
-      point.contributors = solver.last_contributors();
-      trace.add(point);
-      if (options.target_gap > 0.0 && point.gap <= options.target_gap) break;
-    }
-  }
-  // A final checkpoint so a later --resume continues from exactly where
-  // this run stopped (early target-gap exit included).
-  if (ckpt.enabled() && solver.current_epoch() > last_checkpointed) {
-    write_checkpoint(ckpt, solver, solver.current_epoch(), trace);
-  }
-  return trace;
+  return run_cluster_loop(solver, options, ckpt, kMasterTrack);
 }
 
 }  // namespace tpa::cluster

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "cluster/aggregation.hpp"
+#include "cluster/common.hpp"
 #include "cluster/fault_injector.hpp"
 #include "cluster/network_model.hpp"
 #include "cluster/partition.hpp"
@@ -175,6 +176,9 @@ class DistributedSolver {
   /// std::logic_error if epochs have already run.
   void restore(const core::SavedModel& saved);
 
+  /// Writes checkpoint() atomically to `path` (run_cluster_loop hook).
+  void write_checkpoint_file(const std::string& path) const;
+
  private:
   /// A delta that missed its round: buffered on the "network" until the
   /// straggler finishes, then incorporated with that round's γ.
@@ -186,9 +190,7 @@ class DistributedSolver {
   };
 
   struct Worker {
-    data::Dataset shard;
-    std::unique_ptr<core::RidgeProblem> problem;
-    std::unique_ptr<core::Solver> solver;
+    WorkerCore core;
     std::vector<float> weights_start;  // per-epoch scratch
     WorkerStatus status = WorkerStatus::kActive;
     int crash_count = 0;
@@ -218,19 +220,10 @@ class DistributedSolver {
   std::vector<core::ClusterEvent> events_;
 };
 
-/// Periodic checkpointing for run_distributed: every `every_epochs` outer
-/// epochs (and after the final one) the assembled model is written
-/// atomically to `path` via core::write_model_file.
-struct CheckpointConfig {
-  std::string path;
-  int every_epochs = 0;  // 0 disables
-
-  bool enabled() const noexcept { return every_epochs > 0 && !path.empty(); }
-};
-
 /// Drives a DistributedSolver like core::run_solver, recording γ, the
-/// contributor count and all fault events per epoch.  Resumes from the
-/// solver's current epoch (nonzero after restore()).
+/// contributor count and all fault events per epoch (CheckpointConfig and
+/// the loop itself live in cluster/common.hpp, shared with run_async).
+/// Resumes from the solver's current epoch (nonzero after restore()).
 core::ConvergenceTrace run_distributed(DistributedSolver& solver,
                                        const core::RunOptions& options,
                                        const CheckpointConfig& ckpt = {});

@@ -15,7 +15,7 @@
 namespace tpa::core {
 
 const char* cluster_event_name(ClusterEventKind kind) {
-  static_assert(kClusterEventKindCount == 8,
+  static_assert(kClusterEventKindCount == 12,
                 "added a ClusterEventKind? name it below, bump the count in "
                 "convergence.hpp, and extend the exhaustive naming test");
   switch (kind) {
@@ -35,6 +35,14 @@ const char* cluster_event_name(ClusterEventKind kind) {
       return "delta-corrupted";
     case ClusterEventKind::kCheckpoint:
       return "checkpoint";
+    case ClusterEventKind::kJoin:
+      return "join";
+    case ClusterEventKind::kLeave:
+      return "leave";
+    case ClusterEventKind::kStaleDamped:
+      return "stale-damped";
+    case ClusterEventKind::kStaleRejected:
+      return "stale-rejected";
   }
   return "?";
 }

@@ -33,13 +33,17 @@ enum class ClusterEventKind {
   kDeltaDropped,    // worker's delta lost in transit (excluded this epoch)
   kDeltaCorrupted,  // worker's delta failed checksum (excluded this epoch)
   kCheckpoint,      // master wrote an epoch checkpoint
+  kJoin,            // elastic member joined; cold-started from master state
+  kLeave,           // elastic member left; partition frozen until a join
+  kStaleDamped,     // async delta beyond the staleness window, under-relaxed
+  kStaleRejected,   // async delta beyond the staleness window, discarded
 };
 
 /// Number of ClusterEventKind values.  Keep in sync with the enum above: the
 /// exhaustive naming test iterates [0, kClusterEventKindCount) so a new kind
 /// cannot ship without a cluster_event_name entry.
 inline constexpr std::size_t kClusterEventKindCount =
-    static_cast<std::size_t>(ClusterEventKind::kCheckpoint) + 1;
+    static_cast<std::size_t>(ClusterEventKind::kStaleRejected) + 1;
 
 const char* cluster_event_name(ClusterEventKind kind);
 

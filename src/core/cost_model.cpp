@@ -153,4 +153,15 @@ double replica_damping(std::uint64_t num_coordinates, int threads,
   return static_cast<double>(budget) / static_cast<double>(concurrent);
 }
 
+int cluster_staleness_window(int live_workers) noexcept {
+  return std::max(1, 2 * (std::max(1, live_workers) - 1));
+}
+
+double cluster_staleness_damping(std::uint64_t staleness,
+                                 int window) noexcept {
+  const auto budget = static_cast<std::uint64_t>(std::max(1, window));
+  if (staleness <= budget) return 1.0;
+  return static_cast<double>(budget) / static_cast<double>(staleness);
+}
+
 }  // namespace tpa::core

@@ -138,4 +138,23 @@ int replica_auto_interval(std::uint64_t nnz, std::uint64_t num_coordinates,
 double replica_damping(std::uint64_t num_coordinates, int threads,
                        int interval) noexcept;
 
+/// Bounded-staleness window τ for the asynchronous cluster (DESIGN.md §13):
+/// the replica merge-interval math one level up.  A delta pushed by one of
+/// `live_workers` no-barrier workers is computed against a pull that is, in
+/// steady state, K−1 master versions old (every peer pushes once per cycle),
+/// exactly the staleness a bulk-synchronous round imposes.  The auto window
+/// is twice that — the same 2x margin replica_safe_interval keeps — so
+/// healthy async runs are never damped and only genuine laggards (stalled or
+/// recovering workers) trip the rule.  Clamped to >= 1.
+int cluster_staleness_window(int live_workers) noexcept;
+
+/// Under-relaxation θ ∈ (0, 1] for a delta that is `staleness` master
+/// versions old under window τ = `window`: θ = 1 within the window and
+/// τ/staleness beyond it — replica_damping's budget/concurrent rule with the
+/// version clock as the staleness measure.  The total step mass a laggard
+/// can inject is then capped at the window, never a blow-up, matching the
+/// PASSCoDe guarantee that coordinate descent tolerates *bounded* delay.
+double cluster_staleness_damping(std::uint64_t staleness,
+                                 int window) noexcept;
+
 }  // namespace tpa::core

@@ -8,6 +8,7 @@
 #include "obs/trace.hpp"
 #include "serve/scorer.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace tpa::serve {
 
@@ -30,6 +31,11 @@ std::uint64_t Server::reload(const std::string& path) {
   // full time serving ran on the stale model.
   obs::TraceSpan span("serve/reload");
   const int attempts = 1 + std::max(0, config_.reload_retries);
+  // Jitter the backoff by ±50% so replicas that watched the same trainer
+  // don't hammer the file in lockstep.  Wall-clock seeded: reload timing is
+  // outside the deterministic simulation and should not share its streams.
+  util::Rng jitter(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
   for (int attempt = 1;; ++attempt) {
     try {
       const auto version = registry_.publish_file(path);
@@ -37,12 +43,19 @@ std::uint64_t Server::reload(const std::string& path) {
       TPA_LOG_INFO << "serve: reloaded " << path << " as model v" << version;
       return version;
     } catch (const std::exception& error) {
-      if (attempt >= attempts) throw;
+      if (attempt >= attempts) {
+        TPA_LOG_ERROR << "serve: reload of " << path << " failed after "
+                      << attempt << " attempt" << (attempt == 1 ? "" : "s")
+                      << ", giving up: " << error.what();
+        throw;
+      }
+      const auto sleep_ms =
+          config_.reload_backoff_ms * jitter.uniform(0.5, 1.5);
       TPA_LOG_WARN << "serve: reload of " << path << " failed (attempt "
                    << attempt << "/" << attempts << "): " << error.what()
-                   << "; retrying in " << config_.reload_backoff_ms << "ms";
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(config_.reload_backoff_ms));
+                   << "; retrying in " << sleep_ms << "ms";
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          sleep_ms));
     }
   }
 }

@@ -26,10 +26,11 @@ struct ServerConfig {
   BatcherConfig batcher;
   std::uint64_t log_every_batches = 0;  // 0 = no periodic stats logging
   /// reload() retries a failed file read this many extra times, sleeping
-  /// `reload_backoff_ms` between attempts.  A trainer that saves with
-  /// write-to-tmp + rename can leave a reader a transiently missing or
-  /// half-renamed file; one short retry rides it out while the old model
-  /// stays live.  0 disables retrying.
+  /// `reload_backoff_ms` (jittered ±50% so replicas watching the same
+  /// trainer don't retry in lockstep) between attempts.  A trainer that
+  /// saves with write-to-tmp + rename can leave a reader a transiently
+  /// missing or half-renamed file; one short retry rides it out while the
+  /// old model stays live.  0 disables retrying.
   int reload_retries = 1;
   int reload_backoff_ms = 50;
 };

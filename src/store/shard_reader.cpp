@@ -105,16 +105,30 @@ sparse::LabeledMatrix ShardReader::read_shard(std::size_t i) const {
                 " bytes) — truncated or stale shard");
   }
 
-  sparse::LabeledMatrix data = [&] {
+  // The sparse decoder knows nothing about which file it is decoding;
+  // re-throw its checksum/truncation errors with enough context to find
+  // the damage on disk.  The FNV digest covers bytes [4, size-8) —
+  // everything between the magic and the stored digest.
+  const auto decode = [&](auto&& read) -> sparse::LabeledMatrix {
+    try {
+      return read();
+    } catch (const std::runtime_error& error) {
+      fail(i, std::string(error.what()) + " in " + path +
+                  " (payload bytes [4, " + std::to_string(info.bytes - 8) +
+                  "), stored digest at byte " +
+                  std::to_string(info.bytes - 8) + ")");
+    }
+  };
+  sparse::LabeledMatrix data = [&]() -> sparse::LabeledMatrix {
 #if TPA_STORE_HAS_MMAP
     if (mode_ == ReadMode::kMmap) {
-      const Mapping map(path);
-      return sparse::read_binary(map.data, map.size);
+      const Mapping map(path);  // open/stat/mmap errors already name the path
+      return decode([&] { return sparse::read_binary(map.data, map.size); });
     }
 #endif
     std::ifstream in(path, std::ios::binary);
     if (!in) fail(i, "cannot open " + path);
-    return sparse::read_binary(in);
+    return decode([&] { return sparse::read_binary(in); });
   }();
 
   if (data.matrix.rows() != info.rows || data.matrix.nnz() != info.nnz ||

@@ -242,7 +242,19 @@ TEST_F(StoreTest, RejectsCorruptedShardInBothModes) {
   for (const auto mode : {ReadMode::kBuffered, ReadMode::kMmap}) {
     const auto reader =
         ShardReader::open((dir_ / "corrupt.manifest").string(), mode);
-    EXPECT_THROW(reader.read_shard(0), std::runtime_error);
+    // The error must point an operator at the damaged file and where the
+    // digest-covered payload sits inside it, not just say "mismatch".
+    try {
+      reader.read_shard(0);
+      FAIL() << "corrupted shard was accepted in mode "
+             << read_mode_name(mode);
+    } catch (const std::runtime_error& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+      EXPECT_NE(what.find(shard_path.string()), std::string::npos) << what;
+      EXPECT_NE(what.find("stored digest at byte"), std::string::npos)
+          << what;
+    }
     EXPECT_NO_THROW(reader.read_shard(1));
   }
 }

@@ -1,0 +1,47 @@
+# Integration test: a killed-and-resumed *asynchronous* run must reproduce
+# the uninterrupted run exactly, faults and membership changes included.
+# The async resume contract is stricter than the sync one: a checkpoint is a
+# rendezvous (in-flight cycles are discarded and the clock rebased), so the
+# straight run must checkpoint on the same cadence as the interrupted one
+# for the two trajectories to coincide.  Three CLI runs, same dataset:
+#   1. straight 8-round run, checkpoints every 2     -> afull.tpam
+#   2. 4-round run writing checkpoints every 2       -> aresume.ckpt
+#   3. --resume continuation to round 8              -> aresumed.tpam
+# Bit-exact replay means the two saved models are byte-identical.
+set(common --generate webspam --examples 512 --features 1024 --workers 4
+    --async --adaptive --target-gap 0 --checkpoint-every 2
+    --crash-worker 1 --crash-epoch 3
+    --elastic --leave-worker 2 --leave-round 5 --join-worker 2 --join-round 7)
+execute_process(
+  COMMAND ${TRAIN_BIN} ${common} --epochs 8
+          --checkpoint ${WORK_DIR}/afull.ckpt --save ${WORK_DIR}/afull.tpam
+  RESULT_VARIABLE full_result)
+if(NOT full_result EQUAL 0)
+  message(FATAL_ERROR "uninterrupted async run failed: ${full_result}")
+endif()
+execute_process(
+  COMMAND ${TRAIN_BIN} ${common} --epochs 4
+          --checkpoint ${WORK_DIR}/aresume.ckpt
+  RESULT_VARIABLE half_result)
+if(NOT half_result EQUAL 0)
+  message(FATAL_ERROR "checkpointing async run failed: ${half_result}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/aresume.ckpt.async)
+  message(FATAL_ERROR "async checkpoint sidecar (.async) was not written")
+endif()
+execute_process(
+  COMMAND ${TRAIN_BIN} ${common} --epochs 8
+          --checkpoint ${WORK_DIR}/aresume.ckpt
+          --resume ${WORK_DIR}/aresume.ckpt --save ${WORK_DIR}/aresumed.tpam
+  RESULT_VARIABLE resume_result)
+if(NOT resume_result EQUAL 0)
+  message(FATAL_ERROR "resumed async run failed: ${resume_result}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/afull.tpam ${WORK_DIR}/aresumed.tpam
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  message(FATAL_ERROR
+          "resumed async model differs from the uninterrupted run's model")
+endif()

@@ -15,11 +15,15 @@
 //   tpascd_train --workers 4 --resume run.ckpt            # continue run
 //   tpascd_train --workers 4 --crash-worker 1 --crash-epoch 3
 //                --stall-worker 2 --stall-factor 4        # fault drill
+//   tpascd_train --workers 4 --async --staleness-window 6 --elastic
+//                --leave-worker 2 --leave-round 3
+//                --join-worker 2 --join-round 6           # elastic drill
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cluster/async_solver.hpp"
 #include "cluster/dist_solver.hpp"
 #include "core/convergence.hpp"
 #include "core/metrics.hpp"
@@ -257,6 +261,25 @@ int main(int argc, char** argv) {
                     "0");
   parser.add_option("workers", "distribute across this many workers", "1");
   parser.add_flag("adaptive", "use adaptive aggregation (Algorithm 4)");
+  parser.add_flag("async",
+                  "no-barrier bounded-staleness driver instead of the "
+                  "synchronous rounds (DESIGN.md §13)");
+  parser.add_option("staleness-window",
+                    "async: max versions a delta may lag before the "
+                    "staleness policy kicks in (0 = 2(K-1) adaptive)",
+                    "0");
+  parser.add_option("staleness-policy",
+                    "async: damp (θ = τ/s under-relaxation) | reject",
+                    "damp");
+  parser.add_flag("elastic",
+                  "async: enable the scripted join/leave schedule below");
+  parser.add_option("leave-worker",
+                    "elastic: detach this worker (-1 = off)", "-1");
+  parser.add_option("leave-round", "round of the scripted leave", "3");
+  parser.add_option("join-worker",
+                    "elastic: revive this detached/evicted slot (-1 = off)",
+                    "-1");
+  parser.add_option("join-round", "round of the scripted join", "6");
   parser.add_option("store",
                     "train out-of-core from this shard-store manifest "
                     "(see tpascd_shard)");
@@ -382,17 +405,7 @@ int main(int argc, char** argv) {
           "--resume needs a distributed run (--workers > 1)");
     }
 
-    if (workers > 1) {
-      cluster::DistConfig dist;
-      dist.formulation = formulation;
-      dist.num_workers = workers;
-      dist.aggregation = parser.get_bool("adaptive")
-                             ? cluster::AggregationMode::kAdaptive
-                             : cluster::AggregationMode::kAveraging;
-      dist.local_solver = solver_config;
-      dist.lambda = lambda;
-      dist.straggler_grace = parser.get_double("straggler-grace", 1.5);
-      dist.max_restarts = static_cast<int>(parser.get_int("max-restarts", 3));
+    const auto build_faults = [&](cluster::FaultConfig& faults) {
       const int crash_worker =
           static_cast<int>(parser.get_int("crash-worker", -1));
       if (crash_worker >= 0) {
@@ -400,7 +413,7 @@ int main(int argc, char** argv) {
         crash.kind = cluster::FaultKind::kCrash;
         crash.worker = crash_worker;
         crash.epoch = static_cast<int>(parser.get_int("crash-epoch", 3));
-        dist.faults.scripted.push_back(crash);
+        faults.scripted.push_back(crash);
       }
       const int stall_worker =
           static_cast<int>(parser.get_int("stall-worker", -1));
@@ -411,15 +424,92 @@ int main(int argc, char** argv) {
         stall.epoch = 1;
         stall.stall_factor = parser.get_double("stall-factor", 4.0);
         stall.permanent = true;
-        dist.faults.scripted.push_back(stall);
+        faults.scripted.push_back(stall);
       }
+    };
+    cluster::CheckpointConfig ckpt;
+    ckpt.every_epochs =
+        static_cast<int>(parser.get_int("checkpoint-every", 0));
+    ckpt.path = parser.get_string("checkpoint", "tpascd.ckpt");
+
+    if (workers > 1 && parser.get_bool("async")) {
+      cluster::AsyncConfig async;
+      async.formulation = formulation;
+      async.num_workers = workers;
+      async.aggregation = parser.get_bool("adaptive")
+                              ? cluster::AggregationMode::kAdaptive
+                              : cluster::AggregationMode::kAveraging;
+      async.local_solver = solver_config;
+      async.lambda = lambda;
+      async.max_restarts = static_cast<int>(parser.get_int("max-restarts", 3));
+      async.staleness_window =
+          static_cast<int>(parser.get_int("staleness-window", 0));
+      async.staleness_policy = cluster::parse_staleness_policy(
+          parser.get_string("staleness-policy", "damp"));
+      build_faults(async.faults);
+      if (parser.get_bool("elastic")) {
+        const int leave_worker =
+            static_cast<int>(parser.get_int("leave-worker", -1));
+        if (leave_worker >= 0) {
+          async.membership.push_back(
+              {static_cast<int>(parser.get_int("leave-round", 3)),
+               leave_worker, cluster::MembershipEvent::Kind::kLeave});
+        }
+        const int join_worker =
+            static_cast<int>(parser.get_int("join-worker", -1));
+        if (join_worker >= 0) {
+          async.membership.push_back(
+              {static_cast<int>(parser.get_int("join-round", 6)),
+               join_worker, cluster::MembershipEvent::Kind::kJoin});
+        }
+      }
+
+      cluster::AsyncSolver solver(dataset, async);
+      if (resuming) solver.restore_files(parser.get_string("resume", ""));
+      trace = cluster::run_async(solver, run_options, ckpt);
+      std::printf(
+          "trained %d async rounds across %d workers (%s, window %d, %s): "
+          "gap %.3e, %llu applied versions, simulated %.3f s\n",
+          trace.points().back().epoch, workers,
+          aggregation_name(async.aggregation),
+          solver.effective_staleness_window(),
+          staleness_policy_name(async.staleness_policy), trace.final_gap(),
+          static_cast<unsigned long long>(solver.version()),
+          trace.points().back().sim_seconds);
+      if (!trace.events().empty()) {
+        std::printf(
+            "async log: %zu crashes, %zu restarts, %zu evictions, "
+            "%zu joins, %zu leaves, %zu damped, %zu rejected, %zu dropped, "
+            "%zu corrupted, %zu checkpoints\n",
+            trace.count_events(core::ClusterEventKind::kCrash),
+            trace.count_events(core::ClusterEventKind::kRestart),
+            trace.count_events(core::ClusterEventKind::kEvict),
+            trace.count_events(core::ClusterEventKind::kJoin),
+            trace.count_events(core::ClusterEventKind::kLeave),
+            trace.count_events(core::ClusterEventKind::kStaleDamped),
+            trace.count_events(core::ClusterEventKind::kStaleRejected),
+            trace.count_events(core::ClusterEventKind::kDeltaDropped),
+            trace.count_events(core::ClusterEventKind::kDeltaCorrupted),
+            trace.count_events(core::ClusterEventKind::kCheckpoint));
+      }
+      model.epoch = static_cast<std::uint32_t>(solver.current_epoch());
+      model.weights = solver.global_weights();
+      model.shared = solver.global_shared();
+    } else if (workers > 1) {
+      cluster::DistConfig dist;
+      dist.formulation = formulation;
+      dist.num_workers = workers;
+      dist.aggregation = parser.get_bool("adaptive")
+                             ? cluster::AggregationMode::kAdaptive
+                             : cluster::AggregationMode::kAveraging;
+      dist.local_solver = solver_config;
+      dist.lambda = lambda;
+      dist.straggler_grace = parser.get_double("straggler-grace", 1.5);
+      dist.max_restarts = static_cast<int>(parser.get_int("max-restarts", 3));
+      build_faults(dist.faults);
 
       cluster::DistributedSolver solver(dataset, dist);
       if (resuming) solver.restore(resume_model);
-      cluster::CheckpointConfig ckpt;
-      ckpt.every_epochs =
-          static_cast<int>(parser.get_int("checkpoint-every", 0));
-      ckpt.path = parser.get_string("checkpoint", "tpascd.ckpt");
       trace = cluster::run_distributed(solver, run_options, ckpt);
       std::printf("trained %d epochs across %d workers (%s): gap %.3e, "
                   "simulated %.3f s\n",
