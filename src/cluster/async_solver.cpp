@@ -180,28 +180,73 @@ AsyncSolver::AsyncSolver(const data::Dataset& global,
           ") must name a round >= 1 and a valid worker slot");
     }
   }
-  gpu_local_ = is_gpu_solver_kind(config.local_solver.kind);
+  config.network.validate();
+  const bool heterogeneous = !config.fleet.empty();
+  if (heterogeneous &&
+      static_cast<int>(config.fleet.size()) != config.num_workers) {
+    throw std::invalid_argument(
+        "AsyncSolver: fleet has " + std::to_string(config.fleet.size()) +
+        " devices but num_workers is " + std::to_string(config.num_workers));
+  }
+  gpu_local_ = heterogeneous
+                   ? placement::fleet_has_gpu(config.fleet)
+                   : is_gpu_solver_kind(config.local_solver.kind);
 
   // Same partition draw as the sync driver: with equal (seed, num_workers)
-  // the two arms of an ablation own identical shards.
+  // the two arms of an ablation own identical shards — and the same
+  // placement plan for equal (fleet, placement_seed), so the sync/async
+  // arms of a heterogeneous ablation stay comparable too.
   util::Rng rng(config.seed);
-  partition_ = Partition::random(dim, config.num_workers, rng);
+  if (heterogeneous) {
+    placement::CostOptions cost_options;
+    cost_options.local_passes = config.local_epochs_per_round;
+    cost_options.seconds_per_vector_element =
+        config.local_solver.cpu_cost.seconds_per_vector_element;
+    placement::PlacementCostModel cost_model(config.fleet, dim,
+                                             global_workload_, config.network,
+                                             cost_options);
+    placement::AnnealConfig anneal;
+    anneal.seed = config.placement_seed;
+    placement_result_ =
+        placement::plan_placement(cost_model, config.placement, anneal);
+    partition_ = Partition::random_weighted(dim, placement_result_->sizes,
+                                            rng);
+  } else {
+    partition_ = Partition::random(dim, config.num_workers, rng);
+  }
   shared_.assign(global_problem_.shared_dim(config.formulation), 0.0F);
 
   workers_.reserve(static_cast<std::size_t>(config.num_workers));
   for (int k = 0; k < config.num_workers; ++k) {
     auto worker = std::make_unique<Worker>();
+    const core::SolverConfig local =
+        heterogeneous ? config.fleet[static_cast<std::size_t>(k)]
+                            .solver_config(config.local_solver)
+                      : config.local_solver;
     init_worker_core(worker->core, global, partition_, k, config.formulation,
-                     config.lambda, config.local_solver);
+                     config.lambda, local);
+    worker->gpu = heterogeneous
+                      ? config.fleet[static_cast<std::size_t>(k)].is_gpu()
+                      : gpu_local_;
+    // Host passes scale with this slot's owned coordinates; the legacy mean
+    // is kept for homogeneous configs so pre-placement timelines replay
+    // bit-for-bit.
+    worker->host_coords =
+        heterogeneous
+            ? static_cast<double>(global_workload_.num_coordinates) *
+                  static_cast<double>(
+                      partition_.owned[static_cast<std::size_t>(k)].size()) /
+                  static_cast<double>(dim)
+            : static_cast<double>(global_workload_.num_coordinates) /
+                  config.num_workers;
     // Calibrate the nominal per-epoch compute time from a throwaway probe
     // solver on the same shard: the timing models are state-independent, so
     // this one number makes the whole event timeline a pure function of
     // (config, seeds) — the worker's real permutation stream stays untouched
     // and the numerics never feed back into the clock.
-    core::SolverConfig probe_config = config.local_solver;
+    core::SolverConfig probe_config = local;
     probe_config.formulation = config.formulation;
-    probe_config.seed =
-        config.local_solver.seed + static_cast<std::uint64_t>(k);
+    probe_config.seed = local.seed + static_cast<std::uint64_t>(k);
     auto probe = core::make_solver(*worker->core.problem, probe_config);
     worker->compute_seconds = probe->run_epoch().sim_seconds;
     workers_.push_back(std::move(worker));
@@ -249,16 +294,15 @@ double AsyncSolver::nominal_cycle_seconds(const Worker& worker) const {
     network += config_.network.point_to_point_seconds(5 * sizeof(double));
   }
   const auto shared_elems = static_cast<double>(global_workload_.shared_dim);
-  const auto coords_per_worker =
-      static_cast<double>(global_workload_.num_coordinates) /
-      config_.num_workers;
   // Forming Δw and applying γθΔw on the master, plus forming / rescaling the
   // local weight delta — the same vector arithmetic the sync driver charges.
+  // host_coords is the legacy per-worker mean for homogeneous configs and
+  // this slot's placement-sized share for heterogeneous fleets.
   const double host =
       config_.local_solver.cpu_cost.seconds_per_vector_element *
-      (2.0 * shared_elems + 2.0 * coords_per_worker);
+      (2.0 * shared_elems + 2.0 * worker.host_coords);
   double pcie = 0.0;
-  if (gpu_local_) {
+  if (worker.gpu) {
     gpusim::PcieLink link;
     pcie = 2.0 * link.transfer_seconds(shared_bytes, /*pinned=*/true);
   }

@@ -40,6 +40,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,8 @@
 #include "cluster/fault_injector.hpp"
 #include "cluster/network_model.hpp"
 #include "cluster/partition.hpp"
+#include "cluster/placement/annealer.hpp"
+#include "cluster/placement/fleet.hpp"
 #include "core/convergence.hpp"
 #include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
@@ -101,6 +104,16 @@ struct AsyncConfig {
   /// evicted) slot, a leave detaches an attached one; mismatches are
   /// ignored so schedules compose with fault-driven evictions.
   std::vector<MembershipEvent> membership;
+
+  // ---- Heterogeneous placement (DESIGN.md §14) ----
+  /// Same semantics as DistConfig: empty = homogeneous (bit-exact with
+  /// pre-placement runs); otherwise one DeviceSpec per slot and the
+  /// partition is sized by the placement plan.  The async driver has no
+  /// reduce to overlap (pushes are already barrier-free point-to-point),
+  /// so there is no comm_overlap switch here.
+  placement::FleetSpec fleet{};
+  placement::PlacementMode placement = placement::PlacementMode::kUniform;
+  std::uint64_t placement_seed = 7;
 };
 
 enum class AsyncWorkerStatus {
@@ -168,6 +181,15 @@ class AsyncSolver {
   std::vector<float> global_weights() const;
   const std::vector<float>& global_shared() const noexcept { return shared_; }
 
+  /// The coordinate partition in force (placement-sized when a fleet is
+  /// configured; the legacy equal split otherwise).
+  const Partition& partition() const noexcept { return partition_; }
+
+  /// The placement plan; nullptr when no fleet is configured.
+  const placement::PlacementResult* placement_result() const noexcept {
+    return placement_result_ ? &*placement_result_ : nullptr;
+  }
+
   // ---- Async observability ----
   int current_epoch() const noexcept { return round_; }
   /// Master version clock: applied deltas since construction/restore.
@@ -218,6 +240,8 @@ class AsyncSolver {
     int crash_count = 0;
     std::uint64_t draws_consumed = 0;  // local epochs off the perm stream
     double compute_seconds = 0.0;      // calibrated nominal per local epoch
+    bool gpu = false;                  // this slot stages over PCIe
+    double host_coords = 0.0;          // paper-scale owned coordinates
 
     // Pending event: cycle completion (busy) or crash-backoff restart.
     bool busy = false;
@@ -255,6 +279,7 @@ class AsyncSolver {
   AsyncConfig config_;
   core::RidgeProblem global_problem_;
   Partition partition_;
+  std::optional<placement::PlacementResult> placement_result_;
   FaultInjector injector_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<float> shared_;  // the master's (global) shared vector

@@ -47,17 +47,53 @@ DistributedSolver::DistributedSolver(const data::Dataset& global,
         "DistributedSolver: straggler_grace must be > 1 (the deadline must "
         "allow at least a full healthy epoch)");
   }
-  gpu_local_ = is_gpu_solver_kind(config.local_solver.kind);
+  config.network.validate();
+  const bool heterogeneous = !config.fleet.empty();
+  if (heterogeneous &&
+      static_cast<int>(config.fleet.size()) != config.num_workers) {
+    throw std::invalid_argument(
+        "DistributedSolver: fleet has " +
+        std::to_string(config.fleet.size()) + " devices but num_workers is " +
+        std::to_string(config.num_workers));
+  }
+  gpu_local_ = heterogeneous
+                   ? placement::fleet_has_gpu(config.fleet)
+                   : is_gpu_solver_kind(config.local_solver.kind);
 
   util::Rng rng(config.seed);
-  partition_ = Partition::random(dim, config.num_workers, rng);
+  if (heterogeneous) {
+    // Plan the partition sizes against the placement cost model, then deal
+    // the same permutation draw the legacy path uses.  With a homogeneous
+    // fleet the planned sizes equal the uniform split and random_weighted
+    // reproduces Partition::random bit-for-bit.
+    placement::CostOptions cost_options;
+    cost_options.local_passes = config.local_epochs_per_round;
+    cost_options.comm_overlap = config.comm_overlap;
+    cost_options.seconds_per_vector_element =
+        config.local_solver.cpu_cost.seconds_per_vector_element;
+    placement::PlacementCostModel cost_model(config.fleet, dim,
+                                             global_workload_, config.network,
+                                             cost_options);
+    placement::AnnealConfig anneal;
+    anneal.seed = config.placement_seed;
+    placement_result_ =
+        placement::plan_placement(cost_model, config.placement, anneal);
+    partition_ = Partition::random_weighted(dim, placement_result_->sizes,
+                                            rng);
+  } else {
+    partition_ = Partition::random(dim, config.num_workers, rng);
+  }
   shared_.assign(global_problem_.shared_dim(config.formulation), 0.0F);
 
   workers_.reserve(static_cast<std::size_t>(config.num_workers));
   for (int k = 0; k < config.num_workers; ++k) {
     auto worker = std::make_unique<Worker>();
+    const core::SolverConfig local =
+        heterogeneous ? config.fleet[static_cast<std::size_t>(k)]
+                            .solver_config(config.local_solver)
+                      : config.local_solver;
     init_worker_core(worker->core, global, partition_, k, config.formulation,
-                     config.lambda, config.local_solver);
+                     config.lambda, local);
     workers_.push_back(std::move(worker));
   }
 
@@ -201,6 +237,7 @@ core::EpochReport DistributedSolver::run_epoch() {
   const double reduce_begin_us = tracing ? obs::trace_now_us() : 0.0;
   double compute_max = 0.0;  // slowest delta that the master waited for
   bool any_deadline_miss = false;
+  std::vector<double> fresh_arrivals;  // delta-on-the-wire times (overlap)
   for (std::size_t k = 0; k < num_workers; ++k) {
     if (!ran[k]) continue;
     auto& worker = *workers_[k];
@@ -265,6 +302,7 @@ core::EpochReport DistributedSolver::run_epoch() {
 
     outcome[k] = Outcome::kFresh;
     compute_max = std::max(compute_max, effective);
+    fresh_arrivals.push_back(effective);
   }
 
   // ---- Phase 4: Reduce the surviving deltas on the master.
@@ -402,9 +440,23 @@ core::EpochReport DistributedSolver::run_epoch() {
 
   // ---- Simulated time accounting (paper-scale dimensions). ----
   const auto shared_elems = static_cast<double>(global_workload_.shared_dim);
-  const auto coords_per_worker =
-      static_cast<double>(global_workload_.num_coordinates) /
-      config_.num_workers;
+  // Host passes scale with the largest local weight vector.  Without a
+  // fleet the partition is the equal split and the legacy mean keeps the
+  // pre-placement numbers bit-identical; with one, the placement may be
+  // non-uniform, so charge the slowest (largest) worker's paper-scale
+  // coordinate count.
+  double host_coords = static_cast<double>(global_workload_.num_coordinates) /
+                       config_.num_workers;
+  if (!config_.fleet.empty()) {
+    std::size_t max_owned = 0;
+    for (const auto& owned : partition_.owned) {
+      max_owned = std::max(max_owned, owned.size());
+    }
+    const auto dim =
+        global_problem_.num_coordinates(config_.formulation);
+    host_coords = static_cast<double>(global_workload_.num_coordinates) *
+                  static_cast<double>(max_owned) / static_cast<double>(dim);
+  }
 
   EpochBreakdown breakdown;
   // The master waits for the slowest delta it aggregated — or, when a
@@ -420,7 +472,7 @@ core::EpochReport DistributedSolver::run_epoch() {
   // coordinates).
   breakdown.compute_host =
       config_.local_solver.cpu_cost.seconds_per_vector_element *
-      (3.0 * shared_elems + 3.0 * coords_per_worker);
+      (3.0 * shared_elems + 3.0 * host_coords);
   if (gpu_local_) {
     // Shared vector off the device after the local epoch and the new one
     // back on, through pinned buffers (Section V.A).
@@ -428,7 +480,21 @@ core::EpochReport DistributedSolver::run_epoch() {
     breakdown.pcie = pcie.transfer_seconds(shared_bytes, /*pinned=*/true) +
                      pcie.transfer_seconds(shared_bytes, /*pinned=*/true);
   }
-  breakdown.network = net_round;
+  if (config_.comm_overlap && fresh_arrivals.size() > 1) {
+    // Comm/compute overlap: the master ingests each delta as it lands, so
+    // only the reduce time still exposed past the compute wait is charged
+    // — by construction never more than the tree reduce, and exactly the
+    // quantity the placement cost model prices.
+    const double reduce_done = placement::overlapped_reduce_seconds(
+        fresh_arrivals, shared_bytes, config_.network);
+    const double exposed =
+        std::max(0.0, reduce_done - breakdown.compute_solver);
+    breakdown.network =
+        exposed +
+        config_.network.broadcast_seconds(shared_bytes, config_.num_workers);
+  } else {
+    breakdown.network = net_round;
+  }
   if (config_.aggregation == AggregationMode::kAdaptive) {
     // A few scalars ride along with the reduce/broadcast: one extra
     // latency-bound message each way.

@@ -40,6 +40,8 @@
 #include "cluster/fault_injector.hpp"
 #include "cluster/network_model.hpp"
 #include "cluster/partition.hpp"
+#include "cluster/placement/annealer.hpp"
+#include "cluster/placement/fleet.hpp"
 #include "core/convergence.hpp"
 #include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
@@ -77,6 +79,27 @@ struct DistConfig {
   /// Crashes a worker survives before permanent eviction; backoff between
   /// restart attempts doubles each time (1, 2, 4, ... epochs).
   int max_restarts = 3;
+
+  // ---- Heterogeneous placement (DESIGN.md §14) ----
+  /// Per-worker device specs.  Empty = homogeneous cluster: every worker
+  /// runs `local_solver` and the placement layer is bypassed entirely, so
+  /// pre-placement runs reproduce bit-for-bit.  When set, the size must
+  /// equal num_workers; worker k runs fleet[k]'s solver on a partition
+  /// sized by the placement plan.
+  placement::FleetSpec fleet{};
+  /// kUniform reproduces the legacy equal split (bit-exact: same single
+  /// permutation draw from `seed`); kOptimize runs the seeded annealer over
+  /// partition sizes against the placement cost model.
+  placement::PlacementMode placement = placement::PlacementMode::kUniform;
+  /// Seed of the annealer's proposal stream (independent of `seed`, which
+  /// keeps drawing the coordinate permutation).
+  std::uint64_t placement_seed = 7;
+  /// Overlap each worker's delta reduce with the remaining workers' compute
+  /// in the event model: the master ingests deltas as they arrive, so only
+  /// the post-overlap exposed network time is charged.  For homogeneous
+  /// arrival times the binomial tree is never beaten and the round time is
+  /// unchanged — overlap pays off exactly when placements are imbalanced.
+  bool comm_overlap = false;
 };
 
 struct EpochBreakdown {
@@ -136,6 +159,16 @@ class DistributedSolver {
 
   /// One-time setup: slowest worker's dataset upload (GPU locals only).
   double setup_sim_seconds() const;
+
+  /// The coordinate partition in force (placement-sized when a fleet is
+  /// configured; the legacy equal split otherwise).
+  const Partition& partition() const noexcept { return partition_; }
+
+  /// The placement plan (chosen sizes, uniform baseline, predictions, SA
+  /// trajectory); nullptr when no fleet is configured.
+  const placement::PlacementResult* placement_result() const noexcept {
+    return placement_result_ ? &*placement_result_ : nullptr;
+  }
 
   /// Assembles the global weight vector (β or α) from the workers' local
   /// pieces via the partition.
@@ -207,6 +240,7 @@ class DistributedSolver {
   DistConfig config_;
   core::RidgeProblem global_problem_;
   Partition partition_;
+  std::optional<placement::PlacementResult> placement_result_;
   FaultInjector injector_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<float> shared_;  // the master's (global) shared vector

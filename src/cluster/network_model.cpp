@@ -1,8 +1,23 @@
 #include "cluster/network_model.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace tpa::cluster {
+
+void NetworkModel::validate() const {
+  if (!(bandwidth_gbps > 0.0)) {
+    throw std::invalid_argument(
+        "NetworkModel '" + name + "': bandwidth must be positive, got " +
+        std::to_string(bandwidth_gbps) + " GB/s");
+  }
+  if (latency_s < 0.0) {
+    throw std::invalid_argument(
+        "NetworkModel '" + name + "': latency must be non-negative, got " +
+        std::to_string(latency_s) + " s");
+  }
+}
 
 NetworkModel NetworkModel::ethernet_10g() {
   return NetworkModel{"10GbE", 50e-6, 1.05};

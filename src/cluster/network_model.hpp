@@ -27,6 +27,13 @@ struct NetworkModel {
   /// PCIe gen3 x16 peer-to-peer within one machine.
   static NetworkModel pcie_peer();
 
+  /// Rejects physically meaningless parameters: bandwidth must be positive
+  /// (the timing formulas divide by it) and latency non-negative.  Throws
+  /// std::invalid_argument.  Call sites that accept user-configured models
+  /// (the cluster drivers, the placement cost model) validate up front so a
+  /// bad model fails loudly instead of producing inf/negative round times.
+  void validate() const;
+
   double point_to_point_seconds(std::size_t bytes) const noexcept;
 
   /// Tree Reduce of `bytes` from K workers to the master; 0 for K <= 1.

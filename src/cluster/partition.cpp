@@ -1,7 +1,9 @@
 #include "cluster/partition.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "sparse/coo.hpp"
 #include "sparse/convert.hpp"
@@ -38,6 +40,27 @@ void inherit_paper_scale(const data::Dataset& global, data::Dataset& shard,
   shard.set_paper_scale(local);
 }
 
+/// Shared validation for the prescribed-sizes constructors: every worker
+/// must own at least one coordinate and the sizes must tile [0, n) exactly.
+void validate_sizes(Index num_coordinates, std::span<const Index> sizes) {
+  if (sizes.empty()) {
+    throw std::invalid_argument("Partition: sizes must be non-empty");
+  }
+  std::uint64_t total = 0;
+  for (const auto size : sizes) {
+    if (size == 0) {
+      throw std::invalid_argument(
+          "Partition: every worker must own at least one coordinate");
+    }
+    total += size;
+  }
+  if (total != num_coordinates) {
+    throw std::invalid_argument(
+        "Partition: sizes sum to " + std::to_string(total) + " but " +
+        std::to_string(num_coordinates) + " coordinates were requested");
+  }
+}
+
 }  // namespace
 
 Partition Partition::random(Index num_coordinates, int workers,
@@ -58,6 +81,58 @@ Partition Partition::random(Index num_coordinates, int workers,
     std::sort(coords.begin(), coords.end());
   }
   return partition;
+}
+
+Partition Partition::random_weighted(Index num_coordinates,
+                                     std::span<const Index> sizes,
+                                     util::Rng& rng) {
+  validate_sizes(num_coordinates, sizes);
+  Partition partition;
+  partition.owned.resize(sizes.size());
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    partition.owned[k].reserve(sizes[k]);
+  }
+  const auto order = util::random_permutation(num_coordinates, rng);
+  // Same permutation draw and round-robin deal as random(), but a worker at
+  // its quota is skipped.  With uniform sizes no worker ever fills before
+  // its turn comes round, so this is bit-identical to random() there.
+  std::size_t next = 0;
+  for (const auto coordinate : order) {
+    while (partition.owned[next].size() >=
+           static_cast<std::size_t>(sizes[next])) {
+      next = (next + 1) % sizes.size();
+    }
+    partition.owned[next].push_back(coordinate);
+    next = (next + 1) % sizes.size();
+  }
+  for (auto& coords : partition.owned) {
+    std::sort(coords.begin(), coords.end());
+  }
+  return partition;
+}
+
+Partition Partition::contiguous_sizes(Index num_coordinates,
+                                      std::span<const Index> sizes) {
+  validate_sizes(num_coordinates, sizes);
+  Partition partition;
+  partition.owned.resize(sizes.size());
+  Index start = 0;
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    partition.owned[k].resize(sizes[k]);
+    for (Index j = 0; j < sizes[k]; ++j) {
+      partition.owned[k][j] = start + j;
+    }
+    start += sizes[k];
+  }
+  return partition;
+}
+
+std::vector<Index> Partition::sizes() const {
+  std::vector<Index> result(owned.size());
+  for (std::size_t k = 0; k < owned.size(); ++k) {
+    result[k] = static_cast<Index>(owned[k].size());
+  }
+  return result;
 }
 
 Partition Partition::contiguous(Index num_coordinates, int workers) {

@@ -11,6 +11,7 @@
 // models charge each worker 1/K of the full-size dataset's work.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/formulation.hpp"
@@ -30,8 +31,27 @@ struct Partition {
   /// Uniformly random assignment ("randomly distribute the rows", Sect. V.B).
   static Partition random(Index num_coordinates, int workers, util::Rng& rng);
 
+  /// Random assignment with prescribed per-worker sizes (the placement
+  /// optimizer's non-uniform splits).  Draws the same single permutation as
+  /// random() and deals it round-robin, skipping workers that have reached
+  /// their quota — so when `sizes` equals the uniform split this reproduces
+  /// random() bit-for-bit (round-robin never overflows a uniform quota).
+  /// Requires every size >= 1 (workers must own coordinates) and
+  /// sum(sizes) == num_coordinates; throws std::invalid_argument otherwise.
+  static Partition random_weighted(Index num_coordinates,
+                                   std::span<const Index> sizes,
+                                   util::Rng& rng);
+
+  /// Contiguous ranges with prescribed sizes (deterministic; tests and
+  /// non-uniform fixtures).  Same size validation as random_weighted.
+  static Partition contiguous_sizes(Index num_coordinates,
+                                    std::span<const Index> sizes);
+
   /// Contiguous equal-size ranges (deterministic; used in tests).
   static Partition contiguous(Index num_coordinates, int workers);
+
+  /// Per-worker owned counts, in worker order.
+  std::vector<Index> sizes() const;
 
   /// True iff every coordinate in [0, n) appears exactly once.
   bool covers(Index num_coordinates) const;

@@ -1,0 +1,178 @@
+#include "cluster/placement/annealer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace tpa::cluster::placement {
+namespace {
+
+// SA trajectory instants land on their own virtual track so they don't
+// clutter the master's round timeline.
+constexpr std::int32_t kPlacementTrack = 1900;
+
+}  // namespace
+
+PlacementMode parse_placement_mode(const std::string& text) {
+  if (text == "uniform") return PlacementMode::kUniform;
+  if (text == "optimize") return PlacementMode::kOptimize;
+  throw std::invalid_argument("unknown placement mode '" + text +
+                              "' (expected uniform|optimize)");
+}
+
+const char* placement_mode_name(PlacementMode mode) {
+  return mode == PlacementMode::kOptimize ? "optimize" : "uniform";
+}
+
+PlacementResult optimize_placement(const PlacementCostModel& model,
+                                   const AnnealConfig& config) {
+  if (config.iterations < 0) {
+    throw std::invalid_argument(
+        "optimize_placement: iterations must be >= 0");
+  }
+  if (config.initial_fraction <= 0.0 ||
+      config.final_fraction <= 0.0 ||
+      config.final_fraction > config.initial_fraction) {
+    throw std::invalid_argument(
+        "optimize_placement: need 0 < final_fraction <= initial_fraction");
+  }
+
+  const auto workers = static_cast<std::size_t>(model.num_workers());
+  const Index dim = model.partition_dim();
+  PlacementResult result;
+  result.mode = PlacementMode::kOptimize;
+  result.seed = config.seed;
+  result.uniform_sizes =
+      uniform_partition_sizes(dim, static_cast<int>(workers));
+  result.uniform_predicted = model.price(result.uniform_sizes);
+  const double uniform_cost = result.uniform_predicted.total();
+
+  // A single worker (or a dimension too small to rebalance) has nothing to
+  // optimize: the uniform split is the only placement.
+  if (workers <= 1 || dim <= static_cast<Index>(workers)) {
+    result.sizes = result.uniform_sizes;
+    result.predicted = result.uniform_predicted;
+    return result;
+  }
+
+  util::Rng rng(config.seed);
+  std::vector<Index> current = result.uniform_sizes;
+  double current_cost = uniform_cost;
+  std::vector<Index> best = current;
+  double best_cost = current_cost;
+
+  const double t0 = config.initial_fraction * uniform_cost;
+  const double t_final = config.final_fraction * uniform_cost;
+  const double cool =
+      config.iterations > 1
+          ? std::pow(t_final / t0, 1.0 / (config.iterations - 1))
+          : 1.0;
+
+  result.trajectory.reserve(static_cast<std::size_t>(config.iterations));
+  double temperature = t0;
+  std::vector<Index> candidate;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // Proposal: move a block of coordinates from one worker to another.
+    const auto from = static_cast<std::size_t>(rng.uniform_index(workers));
+    auto to = static_cast<std::size_t>(rng.uniform_index(workers - 1));
+    if (to >= from) ++to;
+    candidate = current;
+    const Index movable = candidate[from] - 1;  // every worker keeps >= 1
+    if (movable > 0) {
+      // Block size up to 1/4 of the donor: large enough to escape the
+      // uniform basin early, small enough to fine-tune once cooled.
+      const Index cap = std::max<Index>(1, candidate[from] / 4);
+      const Index amount = static_cast<Index>(
+          1 + rng.uniform_index(std::min<Index>(movable, cap)));
+      candidate[from] -= amount;
+      candidate[to] += amount;
+    }
+
+    const double candidate_cost = model.round_seconds(candidate);
+    const double delta = candidate_cost - current_cost;
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature));
+    if (accept) {
+      current = candidate;
+      current_cost = candidate_cost;
+      ++result.sa_accepted;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    }
+
+    TrajectoryPoint point;
+    point.iteration = iter;
+    point.candidate_seconds = candidate_cost;
+    point.current_seconds = current_cost;
+    point.best_seconds = best_cost;
+    point.accepted = accept;
+    result.trajectory.push_back(point);
+
+    temperature *= cool;
+  }
+  result.sa_iterations = config.iterations;
+
+  // The annealer must never lose to the baseline: take its best state only
+  // when strictly cheaper than uniform.
+  if (best_cost < uniform_cost) {
+    result.sizes = std::move(best);
+    result.predicted = model.price(result.sizes);
+    result.optimized = result.sizes != result.uniform_sizes;
+  } else {
+    result.sizes = result.uniform_sizes;
+    result.predicted = result.uniform_predicted;
+  }
+  return result;
+}
+
+PlacementResult plan_placement(const PlacementCostModel& model,
+                               PlacementMode mode,
+                               const AnnealConfig& config) {
+  if (mode == PlacementMode::kOptimize) {
+    return optimize_placement(model, config);
+  }
+  const Index dim = model.partition_dim();
+  PlacementResult result;
+  result.mode = PlacementMode::kUniform;
+  result.seed = config.seed;
+  result.uniform_sizes = uniform_partition_sizes(dim, model.num_workers());
+  result.uniform_predicted = model.price(result.uniform_sizes);
+  result.sizes = result.uniform_sizes;
+  result.predicted = result.uniform_predicted;
+  return result;
+}
+
+void record_placement_obs(const PlacementResult& result) {
+  auto& metrics = obs::metrics();
+  metrics.gauge("placement.predicted_round_seconds")
+      .set(result.predicted.total());
+  metrics.gauge("placement.uniform_round_seconds")
+      .set(result.uniform_predicted.total());
+  metrics.gauge("placement.predicted_speedup")
+      .set(result.predicted_speedup());
+  metrics.gauge("placement.optimized").set(result.optimized ? 1.0 : 0.0);
+  metrics.counter("placement.sa_iterations")
+      .add(static_cast<std::uint64_t>(result.sa_iterations));
+  metrics.counter("placement.sa_accepted")
+      .add(static_cast<std::uint64_t>(result.sa_accepted));
+
+  if (!obs::trace_enabled()) return;
+  obs::set_track_name(kPlacementTrack, "placement/sa");
+  for (const auto& point : result.trajectory) {
+    // One instant per step; the arg carries the best-so-far cost in
+    // nanoseconds so the trajectory is plottable straight off the trace.
+    obs::trace_instant(point.accepted ? "sa/accept" : "sa/reject",
+                       kPlacementTrack,
+                       static_cast<std::int64_t>(point.best_seconds * 1e9));
+  }
+}
+
+}  // namespace tpa::cluster::placement

@@ -8,11 +8,13 @@ namespace tpa::core {
 namespace {
 
 /// Interpolates a speed-up measured at 16 threads to other thread counts on
-/// a log2 scale: 1 thread -> 1x, 16 threads -> `at_16`, beyond 16 flat (the
-/// paper's Xeon runs at most 16 hardware threads).
+/// a log2 scale: 1 thread is exactly 1.0x by definition, 16 threads hits
+/// `at_16`, and counts beyond 16 clamp to the 16-thread figure — never
+/// extrapolated, because the paper's Xeon has no measurements past 16
+/// hardware threads.  Non-positive thread counts read as 1.
 double interpolate_speedup(double at_16, int threads) {
   if (threads <= 1) return 1.0;
-  const double capped = std::min(threads, 16);
+  const double capped = static_cast<double>(std::min(threads, 16));
   return 1.0 + (at_16 - 1.0) * std::log2(capped) / 4.0;
 }
 

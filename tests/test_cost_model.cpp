@@ -83,6 +83,25 @@ TEST(CpuCostModel, ReplicatedSpeedupScalesNearLinearly) {
   EXPECT_DOUBLE_EQ(model.replicated_speedup(8), mid);
 }
 
+TEST(CpuCostModel, SpeedupInterpolationEdgeCases) {
+  const CpuCostModel model;
+  // One thread is exactly 1.0x on every ladder — no interpolation residue.
+  EXPECT_DOUBLE_EQ(model.atomic_speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(model.wild_speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(model.replicated_speedup(1), 1.0);
+  // Non-positive thread counts read as a single thread, never a blow-up.
+  EXPECT_DOUBLE_EQ(model.atomic_speedup(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.wild_speedup(-4), 1.0);
+  EXPECT_DOUBLE_EQ(model.replicated_speedup(0), 1.0);
+  // Beyond the measured 16 hardware threads the curve clamps — 17 prices
+  // exactly like 16, never extrapolated past the calibration point.
+  EXPECT_DOUBLE_EQ(model.atomic_speedup(17), model.atomic_speedup(16));
+  EXPECT_DOUBLE_EQ(model.wild_speedup(17), model.wild_speedup(16));
+  EXPECT_DOUBLE_EQ(model.replicated_speedup(17), model.replicated_speedup(16));
+  EXPECT_DOUBLE_EQ(model.replicated_speedup(1 << 20),
+                   model.replicated_speedup(16));
+}
+
 TEST(PoolDispatchModel, EffectiveThreadsIsCappedByHardware) {
   PoolDispatchModel model;
   model.hardware_threads = 4;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace tpa::cluster {
 namespace {
 
@@ -44,6 +46,46 @@ TEST(NetworkModel, AllreduceIsReducePlusBroadcast) {
   EXPECT_DOUBLE_EQ(net.allreduce_seconds(bytes, 6),
                    net.reduce_seconds(bytes, 6) +
                        net.broadcast_seconds(bytes, 6));
+}
+
+TEST(NetworkModel, ValidateRejectsNonPhysicalParameters) {
+  auto net = NetworkModel::ethernet_10g();
+  EXPECT_NO_THROW(net.validate());
+  net.bandwidth_gbps = 0.0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.bandwidth_gbps = -1.0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.bandwidth_gbps = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net = NetworkModel::ethernet_10g();
+  net.latency_s = -1e-6;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.latency_s = 0.0;  // zero latency is physical (loopback limit)
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(NetworkModel, CollectivesDegenerateGracefully) {
+  const auto net = NetworkModel::ethernet_10g();
+  // K <= 1: no peers, no cost — including the K = 0 edge.
+  for (const std::size_t bytes : {std::size_t{0}, std::size_t{1} << 24}) {
+    for (const int workers : {-1, 0, 1}) {
+      EXPECT_EQ(net.reduce_seconds(bytes, workers), 0.0);
+      EXPECT_EQ(net.broadcast_seconds(bytes, workers), 0.0);
+      EXPECT_EQ(net.allreduce_seconds(bytes, workers), 0.0);
+    }
+  }
+  // Zero bytes still pays the per-level latency.
+  EXPECT_GT(net.reduce_seconds(0, 2), 0.0);
+}
+
+TEST(NetworkModel, NonPowerOfTwoRoundsUpToTheNextLevel) {
+  const auto net = NetworkModel::pcie_peer();
+  const double level = net.reduce_seconds(0, 2);
+  // ceil(log2): 3 workers price like 4, 5..8 like 8, 9 like 16.
+  EXPECT_NEAR(net.reduce_seconds(0, 3), net.reduce_seconds(0, 4), 1e-15);
+  EXPECT_NEAR(net.reduce_seconds(0, 5), net.reduce_seconds(0, 8), 1e-15);
+  EXPECT_NEAR(net.broadcast_seconds(0, 6), 3.0 * level, 1e-15);
+  EXPECT_NEAR(net.reduce_seconds(0, 9), 4.0 * level, 1e-15);
 }
 
 TEST(NetworkModel, PresetOrdering) {

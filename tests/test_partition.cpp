@@ -2,6 +2,7 @@
 // distribution axes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "cluster/partition.hpp"
@@ -69,6 +70,78 @@ TEST(Partition, CoversRejectsHolesAndDuplicates) {
   Partition good;
   good.owned = {{0, 2}, {1}};
   EXPECT_TRUE(good.covers(3));
+}
+
+TEST(Partition, WeightedPartitionHonoursSizesAndCovers) {
+  const std::vector<data::Index> sizes{5, 1, 10, 4};
+  util::Rng rng(9);
+  const auto partition = Partition::random_weighted(20, sizes, rng);
+  ASSERT_EQ(partition.num_workers(), 4);
+  EXPECT_EQ(partition.sizes(), sizes);   // round-trips the request
+  EXPECT_TRUE(partition.covers(20));     // full coverage, no overlap
+  // Owned lists are sorted like random()'s (shard builders rely on it).
+  for (const auto& owned : partition.owned) {
+    EXPECT_TRUE(std::is_sorted(owned.begin(), owned.end()));
+  }
+}
+
+TEST(Partition, WeightedPartitionWithUniformSizesMatchesRandom) {
+  // The placement layer's bit-exactness guarantee: the weighted deal with
+  // the uniform quota consumes the same single permutation draw and assigns
+  // identically, so pre-placement runs reproduce bit-for-bit.
+  for (const auto& [n, workers] :
+       {std::pair<data::Index, int>{64, 8}, {7, 3}, {100, 7}, {9, 9}}) {
+    std::vector<data::Index> uniform;
+    for (int k = 0; k < workers; ++k) {
+      uniform.push_back(n / workers + (k < static_cast<int>(n % workers)));
+    }
+    util::Rng rng_a(42);
+    util::Rng rng_b(42);
+    const auto legacy = Partition::random(n, workers, rng_a);
+    const auto weighted = Partition::random_weighted(n, uniform, rng_b);
+    EXPECT_EQ(legacy.owned, weighted.owned) << n << "/" << workers;
+    // Both consumed the same amount of the stream.
+    EXPECT_EQ(rng_a(), rng_b());
+  }
+}
+
+TEST(Partition, WeightedPartitionRejectsBadSizes) {
+  util::Rng rng(1);
+  const std::vector<data::Index> empty;
+  EXPECT_THROW(Partition::random_weighted(10, empty, rng),
+               std::invalid_argument);
+  const std::vector<data::Index> zero{5, 0, 5};
+  EXPECT_THROW(Partition::random_weighted(10, zero, rng),
+               std::invalid_argument);
+  const std::vector<data::Index> short_sum{4, 4};
+  EXPECT_THROW(Partition::random_weighted(10, short_sum, rng),
+               std::invalid_argument);
+  const std::vector<data::Index> long_sum{8, 8};
+  EXPECT_THROW(Partition::random_weighted(10, long_sum, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Partition::contiguous_sizes(10, zero), std::invalid_argument);
+}
+
+TEST(Partition, ContiguousSizesAreContiguousRanges) {
+  const std::vector<data::Index> sizes{2, 7, 1};
+  const auto partition = Partition::contiguous_sizes(10, sizes);
+  EXPECT_TRUE(partition.covers(10));
+  EXPECT_EQ(partition.sizes(), sizes);
+  EXPECT_EQ(partition.owned[0], (std::vector<data::Index>{0, 1}));
+  EXPECT_EQ(partition.owned[2], (std::vector<data::Index>{9}));
+}
+
+TEST(Shards, WeightedShardNnzSumsToGlobal) {
+  const auto global = corpus();
+  const std::vector<data::Index> sizes{150, 20, 30};
+  util::Rng rng(8);
+  const auto partition =
+      Partition::random_weighted(global.num_examples(), sizes, rng);
+  sparse::Offset total = 0;
+  for (const auto& owned : partition.owned) {
+    total += make_example_shard(global, owned).nnz();
+  }
+  EXPECT_EQ(total, global.nnz());
 }
 
 TEST(FeatureShard, KeepsAllRowsAndSelectedColumns) {

@@ -18,6 +18,7 @@
 //   tpascd_train --workers 4 --async --staleness-window 6 --elastic
 //                --leave-worker 2 --leave-round 3
 //                --join-worker 2 --join-round 6           # elastic drill
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -87,9 +88,47 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+cluster::NetworkModel parse_network_preset(const std::string& name) {
+  if (name == "10gbe") return cluster::NetworkModel::ethernet_10g();
+  if (name == "100gbe") return cluster::NetworkModel::ethernet_100g();
+  if (name == "pcie") return cluster::NetworkModel::pcie_peer();
+  throw std::invalid_argument("unknown network preset '" + name +
+                              "' (10gbe | 100gbe | pcie)");
+}
+
+/// {"type":"placement",...} line for the --metrics-out report: the chosen
+/// sizes, the uniform baseline, predicted round times and the SA totals.
+std::string placement_report_json(
+    const cluster::placement::PlacementResult& plan,
+    double simulated_round_seconds) {
+  const auto sizes_json = [](const std::vector<data::Index>& sizes) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(sizes[i]);
+    }
+    return out + "]";
+  };
+  return obs::JsonObject()
+      .field_str("type", "placement")
+      .field_str("mode", cluster::placement::placement_mode_name(plan.mode))
+      .field_uint("placement_seed", plan.seed)
+      .field_bool("optimized", plan.optimized)
+      .field_raw("sizes", sizes_json(plan.sizes))
+      .field_raw("uniform_sizes", sizes_json(plan.uniform_sizes))
+      .field_num("predicted_round_seconds", plan.predicted.total())
+      .field_num("uniform_round_seconds", plan.uniform_predicted.total())
+      .field_num("predicted_speedup", plan.predicted_speedup())
+      .field_num("simulated_round_seconds", simulated_round_seconds)
+      .field_int("sa_iterations", plan.sa_iterations)
+      .field_int("sa_accepted", plan.sa_accepted)
+      .str();
+}
+
 void write_trace_outputs(const util::ArgParser& parser,
                          const core::ConvergenceTrace& trace,
-                         const std::string& trace_out, bool chrome_trace) {
+                         const std::string& trace_out, bool chrome_trace,
+                         const std::string& placement_json = {}) {
   if (!trace_out.empty()) {
     if (chrome_trace) {
       obs::write_chrome_trace(trace_out);
@@ -109,6 +148,7 @@ void write_trace_outputs(const util::ArgParser& parser,
     const auto path = parser.get_string("metrics-out", "");
     auto out = tools::open_report(path);
     out << tools::run_meta_json("tpascd_train") << '\n';
+    if (!placement_json.empty()) out << placement_json << '\n';
     trace.write_jsonl(out);
     obs::metrics().write_jsonl(out);
     std::printf("run report written to %s\n", path.c_str());
@@ -260,6 +300,23 @@ int main(int argc, char** argv) {
                     "merges (0 = automatic)",
                     "0");
   parser.add_option("workers", "distribute across this many workers", "1");
+  parser.add_option("fleet",
+                    "heterogeneous worker fleet: comma-separated "
+                    "<count>x<device> with device cpu[:threads] | m4000 | "
+                    "titanx, e.g. 4xtitanx,4xcpu:4 (sets --workers; see "
+                    "DESIGN.md §14)");
+  parser.add_option("placement",
+                    "fleet partitioning: uniform (equal split) | optimize "
+                    "(seeded annealer over partition sizes)",
+                    "optimize");
+  parser.add_option("placement-seed",
+                    "seed of the placement annealer's proposal stream", "7");
+  parser.add_flag("no-overlap",
+                  "disable comm/compute overlap of the delta reduce "
+                  "(overlap is on by default for --fleet runs)");
+  parser.add_option("network",
+                    "cluster interconnect preset: 10gbe | 100gbe | pcie",
+                    "10gbe");
   parser.add_flag("adaptive", "use adaptive aggregation (Algorithm 4)");
   parser.add_flag("async",
                   "no-barrier bounded-staleness driver instead of the "
@@ -394,7 +451,23 @@ int main(int argc, char** argv) {
         static_cast<int>(parser.get_int("merge-every", 0));
     solver_config.merge_every = run_options.merge_every;
 
-    const int workers = static_cast<int>(parser.get_int("workers", 1));
+    cluster::placement::FleetSpec fleet;
+    if (parser.has("fleet")) {
+      fleet = cluster::placement::parse_fleet_spec(
+          parser.get_string("fleet", ""));
+      std::printf("fleet: %s\n",
+                  cluster::placement::fleet_summary(fleet).c_str());
+    }
+    const auto placement_mode = cluster::placement::parse_placement_mode(
+        parser.get_string("placement", "optimize"));
+    const auto placement_seed =
+        static_cast<std::uint64_t>(parser.get_int("placement-seed", 7));
+    const auto network =
+        parse_network_preset(parser.get_string("network", "10gbe"));
+    // --fleet names one device per worker slot, so it pins the worker count.
+    const int workers =
+        fleet.empty() ? static_cast<int>(parser.get_int("workers", 1))
+                      : static_cast<int>(fleet.size());
     core::SavedModel model;
     model.formulation = formulation;
     model.lambda = lambda;
@@ -404,6 +477,29 @@ int main(int argc, char** argv) {
       throw std::invalid_argument(
           "--resume needs a distributed run (--workers > 1)");
     }
+    if (!fleet.empty() && workers < 2) {
+      throw std::invalid_argument(
+          "--fleet needs at least two devices (one per worker slot)");
+    }
+
+    std::string placement_json;
+    const auto report_placement =
+        [&](const cluster::placement::PlacementResult* plan,
+            double simulated_round_seconds) {
+          if (plan == nullptr) return;
+          cluster::placement::record_placement_obs(*plan);
+          std::printf(
+              "placement: %s (seed %llu, %s) — predicted round %.3f ms vs "
+              "uniform %.3f ms (%.2fx), simulated round %.3f ms\n",
+              cluster::placement::placement_mode_name(plan->mode),
+              static_cast<unsigned long long>(plan->seed),
+              plan->optimized ? "non-uniform sizes" : "uniform sizes",
+              1e3 * plan->predicted.total(),
+              1e3 * plan->uniform_predicted.total(),
+              plan->predicted_speedup(), 1e3 * simulated_round_seconds);
+          placement_json =
+              placement_report_json(*plan, simulated_round_seconds);
+        };
 
     const auto build_faults = [&](cluster::FaultConfig& faults) {
       const int crash_worker =
@@ -446,6 +542,10 @@ int main(int argc, char** argv) {
           static_cast<int>(parser.get_int("staleness-window", 0));
       async.staleness_policy = cluster::parse_staleness_policy(
           parser.get_string("staleness-policy", "damp"));
+      async.network = network;
+      async.fleet = fleet;
+      async.placement = placement_mode;
+      async.placement_seed = placement_seed;
       build_faults(async.faults);
       if (parser.get_bool("elastic")) {
         const int leave_worker =
@@ -492,6 +592,9 @@ int main(int argc, char** argv) {
             trace.count_events(core::ClusterEventKind::kDeltaCorrupted),
             trace.count_events(core::ClusterEventKind::kCheckpoint));
       }
+      const auto rounds = std::max(1, solver.current_epoch());
+      report_placement(solver.placement_result(),
+                       trace.points().back().sim_seconds / rounds);
       model.epoch = static_cast<std::uint32_t>(solver.current_epoch());
       model.weights = solver.global_weights();
       model.shared = solver.global_shared();
@@ -506,6 +609,11 @@ int main(int argc, char** argv) {
       dist.lambda = lambda;
       dist.straggler_grace = parser.get_double("straggler-grace", 1.5);
       dist.max_restarts = static_cast<int>(parser.get_int("max-restarts", 3));
+      dist.network = network;
+      dist.fleet = fleet;
+      dist.placement = placement_mode;
+      dist.placement_seed = placement_seed;
+      dist.comm_overlap = !fleet.empty() && !parser.get_bool("no-overlap");
       build_faults(dist.faults);
 
       cluster::DistributedSolver solver(dataset, dist);
@@ -527,6 +635,8 @@ int main(int argc, char** argv) {
             trace.count_events(core::ClusterEventKind::kLateDelta),
             trace.count_events(core::ClusterEventKind::kCheckpoint));
       }
+      report_placement(solver.placement_result(),
+                       solver.last_breakdown().total());
       model.epoch = static_cast<std::uint32_t>(solver.current_epoch());
       model.weights = solver.global_weights();
       model.shared = solver.global_shared();
@@ -551,7 +661,8 @@ int main(int argc, char** argv) {
       std::printf("model saved to %s\n", path.c_str());
     }
 
-    write_trace_outputs(parser, trace, trace_out, chrome_trace);
+    write_trace_outputs(parser, trace, trace_out, chrome_trace,
+                        placement_json);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
