@@ -9,10 +9,14 @@
 //   optimized          annealer sizes, no overlap
 //   optimized+overlap  annealer sizes, master ingests deltas as they arrive
 //
-// Emits BENCH_placement.json (same meta block as perf_smoke) and with
-// --check asserts (a) the optimized round is never slower than uniform and
-// (b) the simulated time-to-gap speedup clears --min-speedup (CI gate).
+// Each arm also runs the cost-model drift auditor: the plan's predicted
+// per-term round decomposition vs the engine's measured round attribution
+// (DESIGN.md §15).  Emits BENCH_placement.json (same meta block as
+// perf_smoke) and with --check asserts (a) the optimized round is never
+// slower than uniform, (b) the simulated time-to-gap speedup clears
+// --min-speedup, and (c) per-term drift stays under --max-drift (CI gate).
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -20,6 +24,7 @@
 #include "bench_json.hpp"
 
 #include "cluster/dist_solver.hpp"
+#include "cluster/placement/drift.hpp"
 #include "cluster/placement/fleet.hpp"
 #include "linalg/kernels.hpp"
 #include "obs/build_info.hpp"
@@ -49,6 +54,7 @@ struct ArmResult {
   double predicted_round = 0.0;   // cost-model price of the chosen sizes
   double final_gap = 0.0;
   int epochs = 0;
+  double max_drift = 0.0;  // worst per-term predicted-vs-measured error
 };
 
 }  // namespace
@@ -66,6 +72,9 @@ int main(int argc, char** argv) {
     parser.add_option("out-dir", "directory for BENCH_placement.json", ".");
     parser.add_option("min-speedup",
                       "--check fails below this time-to-gap speedup", "1.3");
+    parser.add_option("max-drift",
+                      "--check fails above this per-term cost-model drift",
+                      "0.15");
     parser.add_flag("check", "exit non-zero if the optimizer loses to uniform");
     if (!parser.parse(argc, argv)) return 1;
 
@@ -92,8 +101,9 @@ int main(int argc, char** argv) {
     };
 
     util::Table table({"arm", "round (ms)", "predicted (ms)",
-                       "time-to-gap (s)", "final gap"});
+                       "time-to-gap (s)", "final gap", "max drift"});
     std::vector<ArmResult> results;
+    std::vector<cluster::placement::DriftReport> drift_reports;
     for (const auto& arm : arms) {
       cluster::DistConfig config;
       config.formulation = core::Formulation::kDual;
@@ -119,9 +129,15 @@ int main(int argc, char** argv) {
       result.time_to_gap = seconds;
       result.reached = reached;
       result.round_seconds = solver.last_breakdown().total();
+      cluster::placement::DriftReport drift;
       if (const auto* plan = solver.placement_result()) {
         result.predicted_round = plan->predicted.total();
+        drift = cluster::placement::audit_placement_drift(
+            plan->predicted, solver.attribution_totals(),
+            solver.attribution_rounds());
+        result.max_drift = drift.max_rel_error;
       }
+      drift_reports.push_back(std::move(drift));
       result.final_gap =
           trace.points().empty() ? 0.0 : trace.points().back().gap;
       result.epochs = static_cast<int>(trace.points().size());
@@ -134,8 +150,15 @@ int main(int argc, char** argv) {
       table.add_cell(reached ? util::Table::format_number(seconds)
                              : "not reached");
       table.add_cell(util::Table::format_number(result.final_gap));
+      table.add_cell(util::Table::format_number(result.max_drift));
     }
     bench::emit(table, options);
+    for (std::size_t i = 0; i < drift_reports.size(); ++i) {
+      std::printf("\n[%s] ", arms[i].name);
+      cluster::placement::print_drift_report(std::cout, drift_reports[i]);
+    }
+    // The headline arm's drift lands in the metrics registry.
+    cluster::placement::record_drift_obs(drift_reports.back());
 
     const auto& uniform = results[0];
     const auto& best = results[2];  // optimized+overlap is the headline arm
@@ -172,7 +195,8 @@ int main(int argc, char** argv) {
             {"round_seconds", r.round_seconds},
             {"predicted_round_seconds", r.predicted_round},
             {"final_gap", r.final_gap},
-            {"epochs", static_cast<double>(r.epochs)}}});
+            {"epochs", static_cast<double>(r.epochs)},
+            {"max_drift", r.max_drift}}});
     }
     records.push_back({"speedup/round_time", round_speedup, "x", {}});
     records.push_back({"speedup/time_to_gap", gap_speedup, "x",
@@ -201,9 +225,20 @@ int main(int argc, char** argv) {
                     gap_speedup, min_speedup);
         ok = false;
       }
+      const double max_drift = parser.get_double("max-drift", 0.15);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].max_drift > max_drift) {
+          std::printf(
+              "CHECK FAILED: [%s] cost-model drift %.3f > %.3f — the "
+              "placement model has diverged from the round engine\n",
+              arms[i].name, results[i].max_drift, max_drift);
+          ok = false;
+        }
+      }
       if (!ok) return 2;
-      std::printf("placement checks passed (speedup %.2fx >= %.2fx)\n",
-                  gap_speedup, min_speedup);
+      std::printf(
+          "placement checks passed (speedup %.2fx >= %.2fx, drift <= %.3f)\n",
+          gap_speedup, min_speedup, max_drift);
     }
     return 0;
   } catch (const std::exception& e) {

@@ -253,6 +253,8 @@ AsyncSolver::AsyncSolver(const data::Dataset& global,
   }
 
   obs::set_track_name(kAsyncMasterTrack, "async/master");
+  obs::set_track_name(attribution_track(kAsyncMasterTrack),
+                      "async/attribution (sim)");
   for (int k = 0; k < config.num_workers; ++k) {
     obs::set_track_name(worker_track(kAsyncMasterTrack, k),
                         "async/worker " + std::to_string(k));
@@ -281,44 +283,47 @@ int AsyncSolver::effective_staleness_window() const {
              : core::cluster_staleness_window(live_workers());
 }
 
-double AsyncSolver::nominal_cycle_seconds(const Worker& worker) const {
+AsyncSolver::CycleCost AsyncSolver::cycle_cost(const Worker& worker) const {
+  CycleCost cost;
   const std::size_t shared_bytes =
       static_cast<std::size_t>(global_workload_.shared_dim) * sizeof(float);
   // Point-to-point pull + push instead of the sync tree: the master link is
   // modelled at the same granularity as the reduce/broadcast trees (no
   // master-side serialization), which favours neither arm — both charge one
   // latency + bytes/bw term per hop.
-  double network =
-      2.0 * config_.network.point_to_point_seconds(shared_bytes);
+  cost.network = 2.0 * config_.network.point_to_point_seconds(shared_bytes);
   if (config_.aggregation == AggregationMode::kAdaptive) {
-    network += config_.network.point_to_point_seconds(5 * sizeof(double));
+    cost.network +=
+        config_.network.point_to_point_seconds(5 * sizeof(double));
   }
   const auto shared_elems = static_cast<double>(global_workload_.shared_dim);
   // Forming Δw and applying γθΔw on the master, plus forming / rescaling the
   // local weight delta — the same vector arithmetic the sync driver charges.
   // host_coords is the legacy per-worker mean for homogeneous configs and
   // this slot's placement-sized share for heterogeneous fleets.
-  const double host =
-      config_.local_solver.cpu_cost.seconds_per_vector_element *
-      (2.0 * shared_elems + 2.0 * worker.host_coords);
-  double pcie = 0.0;
+  cost.host = config_.local_solver.cpu_cost.seconds_per_vector_element *
+              (2.0 * shared_elems + 2.0 * worker.host_coords);
   if (worker.gpu) {
     gpusim::PcieLink link;
-    pcie = 2.0 * link.transfer_seconds(shared_bytes, /*pinned=*/true);
+    cost.pcie = 2.0 * link.transfer_seconds(shared_bytes, /*pinned=*/true);
   }
-  const double compute =
-      config_.local_epochs_per_round * worker.compute_seconds;
-  return network + host + pcie + compute;
+  cost.compute = config_.local_epochs_per_round * worker.compute_seconds;
+  if (worker.fault.kind == FaultKind::kStall) {
+    const double slowdown = std::max(1.0, worker.fault.stall_factor) - 1.0;
+    cost.stall =
+        slowdown * config_.local_epochs_per_round * worker.compute_seconds;
+  }
+  return cost;
+}
+
+double AsyncSolver::nominal_cycle_seconds(const Worker& worker) const {
+  return cycle_cost(worker).nominal();
 }
 
 double AsyncSolver::cycle_seconds(const Worker& worker) const {
-  double seconds = nominal_cycle_seconds(worker);
-  if (worker.fault.kind == FaultKind::kStall) {
-    const double slowdown = std::max(1.0, worker.fault.stall_factor) - 1.0;
-    seconds += slowdown * config_.local_epochs_per_round *
-               worker.compute_seconds;
-  }
-  return seconds;
+  // nominal() + stall reproduces the legacy sum order bit-for-bit, so the
+  // deterministic event timeline (and checkpoint replay) is unchanged.
+  return cycle_cost(worker).total();
 }
 
 void AsyncSolver::handle_crash(Worker& worker, int index) {
@@ -396,34 +401,61 @@ void AsyncSolver::schedule_cycle(int index) {
   worker.fault = fault;
   worker.pulled_version = version_;
   worker.pulled_shared = shared_;
+  // Pull arrow: the master publishes its current vector to this worker.
+  const std::uint64_t pull_flow = ++flow_seq_;
+  obs::trace_flow_begin("flow/pull", pull_flow, kAsyncMasterTrack);
   auto& state = worker.core.solver->mutable_state();
   state.shared.assign(shared_.begin(), shared_.end());
   worker.weights_start = state.weights;
   {
     obs::TraceSpan span("async/local_solve",
                         worker_track(kAsyncMasterTrack, index), round_);
+    obs::trace_flow_end("flow/pull", pull_flow,
+                        worker_track(kAsyncMasterTrack, index));
     for (int pass = 0; pass < passes; ++pass) {
       worker.core.solver->run_epoch();
     }
+    // Push arrow: opened at solve end, closed when the master absorbs this
+    // cycle in complete_cycle.
+    worker.push_flow_id = ++flow_seq_;
+    obs::trace_flow_begin("flow/push", worker.push_flow_id,
+                          worker_track(kAsyncMasterTrack, index));
   }
   worker.draws_consumed += static_cast<std::uint64_t>(passes);
   worker.event_at = now_ + cycle_seconds(worker);
 }
 
-void AsyncSolver::complete_cycle(int index) {
+void AsyncSolver::complete_cycle(int index, double segment_seconds) {
   auto& worker = *workers_[index];
   worker.busy = false;
   auto& state = worker.core.solver->mutable_state();
   ++pushes_this_round_;
   obs::metrics().counter("cluster.async.pushes").add();
+  obs::trace_flow_end("flow/push", worker.push_flow_id, kAsyncMasterTrack);
   const std::uint64_t staleness = version_ - worker.pulled_version;
   obs::metrics()
       .histogram("cluster.async.staleness")
       .record(static_cast<double>(staleness));
 
+  // Attribution: charge `seconds` of master critical path to this cycle's
+  // cost terms, pro rata (the stall share is time spent waiting on an
+  // injected straggler, not useful compute).
+  const CycleCost cost = cycle_cost(worker);
+  const auto charge_split = [&](double seconds) {
+    const double total = cost.total();
+    if (total <= 0.0 || seconds <= 0.0) return;
+    const double scale = seconds / total;
+    round_attr_.compute_seconds += scale * cost.compute;
+    round_attr_.host_seconds += scale * cost.host;
+    round_attr_.pcie_seconds += scale * cost.pcie;
+    round_attr_.network_seconds += scale * cost.network;
+    round_attr_.straggler_wait_seconds += scale * cost.stall;
+  };
+
   const auto rollback = [&] { state.weights = worker.weights_start; };
 
   if (worker.fault.kind == FaultKind::kDropDelta) {
+    charge_split(segment_seconds);
     rollback();
     record_event(index, core::ClusterEventKind::kDeltaDropped);
     return;
@@ -439,6 +471,7 @@ void AsyncSolver::complete_cycle(int index) {
     const std::uint64_t sent = delta_checksum(dshared);
     corrupt_in_transit(dshared);
     if (delta_checksum(dshared) != sent) {
+      charge_split(segment_seconds);
       rollback();
       record_event(index, core::ClusterEventKind::kDeltaCorrupted);
       return;
@@ -451,6 +484,8 @@ void AsyncSolver::complete_cycle(int index) {
   double theta = 1.0;
   if (staleness > static_cast<std::uint64_t>(window)) {
     if (config_.staleness_policy == StalenessPolicy::kReject) {
+      // The whole cycle was wasted: the master learned nothing from it.
+      round_attr_.stale_overhead_seconds += segment_seconds;
       rollback();
       record_event(index, core::ClusterEventKind::kStaleRejected);
       return;
@@ -458,6 +493,10 @@ void AsyncSolver::complete_cycle(int index) {
     theta = core::cluster_staleness_damping(staleness, window);
     record_event(index, core::ClusterEventKind::kStaleDamped);
   }
+  // A damped delta only delivered a θ fraction of its step: the damped-away
+  // share of this segment is staleness overhead, the rest splits normally.
+  round_attr_.stale_overhead_seconds += (1.0 - theta) * segment_seconds;
+  charge_split(theta * segment_seconds);
 
   // ---- γ rescaled to live contributors; adaptive mode runs the Algorithm 4
   // line search per delta against the master's *current* state (the exact
@@ -572,15 +611,22 @@ core::EpochReport AsyncSolver::run_epoch() {
     }
     if (next < 0) break;  // no events pending: nothing can push this round
     auto& worker = *workers_[next];
+    // Master-critical-path segment consumed by this event.  Segments
+    // telescope over the round, so the attribution components sum to the
+    // round's sim time exactly.
+    const double previous_now = now_;
     now_ = std::max(now_, worker.event_at);
+    const double segment = now_ - previous_now;
     if (worker.restart_pending) {
+      // Time the master spent with this slot dark, waiting out a backoff.
+      round_attr_.straggler_wait_seconds += segment;
       worker.restart_pending = false;
       worker.status = AsyncWorkerStatus::kComputing;
       record_event(next, core::ClusterEventKind::kRestart);
       schedule_cycle(next);
       continue;
     }
-    complete_cycle(next);
+    complete_cycle(next, segment);
     if (worker.status == AsyncWorkerStatus::kComputing && !worker.busy &&
         !worker.restart_pending) {
       schedule_cycle(next);
@@ -591,9 +637,19 @@ core::EpochReport AsyncSolver::run_epoch() {
   obs::metrics().gauge("cluster.async.version").set(
       static_cast<double>(version_));
 
+  const double round_sim = now_ - round_start;
+  last_attr_ = round_attr_;
+  attr_totals_ += round_attr_;
+  ++attr_rounds_;
+  obs::record_round_attribution(round_attr_, attr_totals_, round_sim,
+                                attr_clock_seconds_, round_,
+                                attribution_track(kAsyncMasterTrack));
+  attr_clock_seconds_ += round_sim;
+  round_attr_ = obs::RoundAttribution{};
+
   core::EpochReport report;
   report.coordinate_updates = applied_updates_;
-  report.sim_seconds = now_ - round_start;
+  report.sim_seconds = round_sim;
   report.wall_seconds = timer.seconds();
   return report;
 }

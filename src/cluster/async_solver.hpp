@@ -54,6 +54,7 @@
 #include "core/convergence.hpp"
 #include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
+#include "obs/attribution.hpp"
 
 namespace tpa::cluster {
 
@@ -208,6 +209,18 @@ class AsyncSolver {
     return events_;
   }
 
+  /// Round attribution (DESIGN.md §15): master-critical-path segment
+  /// accounting over the event timeline — every inter-event segment is
+  /// charged to the cost terms of the event that ended it, so the components
+  /// sum to the round's simulated time exactly (telescoping).
+  const obs::RoundAttribution& last_attribution() const noexcept {
+    return last_attr_;
+  }
+  const obs::RoundAttribution& attribution_totals() const noexcept {
+    return attr_totals_;
+  }
+  std::uint64_t attribution_rounds() const noexcept { return attr_rounds_; }
+
   // ---- Checkpoint / resume ----
   /// Rendezvous + snapshot: discards in-flight cycles (rolling their local
   /// weights back; their permutation draws stay consumed), re-zeroes the
@@ -247,6 +260,7 @@ class AsyncSolver {
     bool busy = false;
     bool restart_pending = false;
     double event_at = 0.0;
+    std::uint64_t push_flow_id = 0;  // flow/push arrow of the cycle in flight
 
     // In-flight cycle context, captured at schedule time.
     FaultEvent fault{};
@@ -262,6 +276,22 @@ class AsyncSolver {
     bool crashed_this_round = false;
   };
 
+  /// One cycle's deterministic cost, by term.  nominal() reproduces the
+  /// legacy nominal_cycle_seconds sum bit-for-bit (same addition order);
+  /// stall is the fault-injected compute inflation.
+  struct CycleCost {
+    double network = 0.0;
+    double host = 0.0;
+    double pcie = 0.0;
+    double compute = 0.0;
+    double stall = 0.0;
+
+    double nominal() const noexcept {
+      return network + host + pcie + compute;
+    }
+    double total() const noexcept { return nominal() + stall; }
+  };
+
   void record_event(int worker, core::ClusterEventKind kind);
   void apply_membership(int round);
   void handle_crash(Worker& worker, int index);
@@ -269,9 +299,12 @@ class AsyncSolver {
   /// computing worker; arms its completion/restart event.
   void schedule_cycle(int index);
   /// Absorbs a completed cycle on the master: transit faults, staleness
-  /// rule, γ scaling, invariant-preserving apply.
-  void complete_cycle(int index);
+  /// rule, γ scaling, invariant-preserving apply.  `segment_seconds` is the
+  /// master-critical-path segment this event consumed; it is attributed to
+  /// the cycle's cost terms (or to stale overhead) in round_attr_.
+  void complete_cycle(int index, double segment_seconds);
   void discard_in_flight(Worker& worker);
+  CycleCost cycle_cost(const Worker& worker) const;
   double cycle_seconds(const Worker& worker) const;
   double nominal_cycle_seconds(const Worker& worker) const;
 
@@ -293,6 +326,14 @@ class AsyncSolver {
   std::uint64_t applied_updates_ = 0;  // coordinate updates, current round
   double last_gamma_ = 0.0;
   int last_contributors_ = 0;
+  obs::RoundAttribution round_attr_{};  // accumulating, current round
+  obs::RoundAttribution last_attr_{};
+  obs::RoundAttribution attr_totals_{};
+  std::uint64_t attr_rounds_ = 0;
+  // Monotone sim clock for the attribution spans: unlike now_, it is never
+  // re-zeroed by the checkpoint rendezvous, so rounds tile left-to-right.
+  double attr_clock_seconds_ = 0.0;
+  std::uint64_t flow_seq_ = 0;  // pull/push flow-arrow ids
   std::vector<core::ClusterEvent> events_;
 };
 

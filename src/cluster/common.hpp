@@ -33,6 +33,38 @@ constexpr std::int32_t worker_track(std::int32_t master_track, int worker) {
   return worker < 0 ? master_track : master_track + 1 + worker;
 }
 
+/// Virtual track for the simulated-time attribution spans (attr/round and
+/// its component tiles) of the driver rooted at `master_track`.  Offset 500
+/// keeps it clear of any realistic worker count while staying between the
+/// sync (1000) and async (2000) bases.
+inline constexpr std::int32_t kAttrTrackOffset = 500;
+
+constexpr std::int32_t attribution_track(std::int32_t master_track) {
+  return master_track + kAttrTrackOffset;
+}
+
+// Flow ids for the causal delta/model arrows.  The id only has to be unique
+// per begin/end pair within one trace: pack (track base, epoch, worker) so
+// sync and async drivers — and different epochs — can never collide.  Bit 39
+// distinguishes the master→worker model-broadcast flows from the
+// worker→master delta flows of the same (epoch, worker).
+constexpr std::uint64_t delta_flow_id(std::int32_t master_track, int epoch,
+                                      int worker) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(master_track))
+          << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(epoch) &
+                                     0x7FFFFFu)
+          << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(worker) &
+                                    0xFFFFu);
+}
+
+constexpr std::uint64_t model_flow_id(std::int32_t master_track, int epoch,
+                                      int worker) {
+  return delta_flow_id(master_track, epoch, worker) |
+         (std::uint64_t{1} << 39);
+}
+
 bool is_gpu_solver_kind(core::SolverKind kind);
 
 /// Simulated transit corruption: flip one mantissa bit of the first entry.

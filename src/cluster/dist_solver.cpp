@@ -98,6 +98,8 @@ DistributedSolver::DistributedSolver(const data::Dataset& global,
   }
 
   obs::set_track_name(kMasterTrack, "dist/master");
+  obs::set_track_name(attribution_track(kMasterTrack),
+                      "dist/attribution (sim)");
   for (int k = 0; k < config.num_workers; ++k) {
     obs::set_track_name(worker_track(kMasterTrack, k),
                         "dist/worker " + std::to_string(k));
@@ -190,6 +192,13 @@ core::EpochReport DistributedSolver::run_epoch() {
     // vector (its local copy then diverges as it applies local updates).
     obs::TraceSpan solve_span("dist/local_solve",
                               worker_track(kMasterTrack, index), epoch_);
+    if (epoch_ > 1) {
+      // Close the arrow from last round's broadcast: this solve consumes the
+      // γ-scaled model the master published then.
+      obs::trace_flow_end("flow/model",
+                          model_flow_id(kMasterTrack, epoch_ - 1, index),
+                          worker_track(kMasterTrack, index));
+    }
     auto& state = worker.core.solver->mutable_state();
     state.shared.assign(shared_.begin(), shared_.end());
     worker.weights_start = state.weights;
@@ -200,6 +209,10 @@ core::EpochReport DistributedSolver::run_epoch() {
     ran[k] = true;
     run_seconds[k] = local_seconds;
     updates += state.weights.size();
+    // Open the delta arrow inside the solve span: the push to the master.
+    obs::trace_flow_begin("flow/delta",
+                          delta_flow_id(kMasterTrack, epoch_, index),
+                          worker_track(kMasterTrack, index));
   }
 
   // Phases 2–4 compute values consumed across phase boundaries, so their
@@ -236,6 +249,8 @@ core::EpochReport DistributedSolver::run_epoch() {
   // ---- Phase 3: transit outcomes for this round's runners.
   const double reduce_begin_us = tracing ? obs::trace_now_us() : 0.0;
   double compute_max = 0.0;  // slowest delta that the master waited for
+  double crit_compute = 0.0;  // its *nominal* compute (stall inflation is
+                              // charged to straggler wait, not compute)
   bool any_deadline_miss = false;
   std::vector<double> fresh_arrivals;  // delta-on-the-wire times (overlap)
   for (std::size_t k = 0; k < num_workers; ++k) {
@@ -267,6 +282,7 @@ core::EpochReport DistributedSolver::run_epoch() {
       pending.rounds_needed = std::max(
           2, static_cast<int>(std::ceil(effective / last_deadline_seconds_)));
       pending.rounds_done = 1;
+      pending.epoch_started = epoch_;
       state.weights = worker.weights_start;
       worker.pending = std::move(pending);
       worker.status = WorkerStatus::kInFlight;
@@ -301,7 +317,10 @@ core::EpochReport DistributedSolver::run_epoch() {
     }
 
     outcome[k] = Outcome::kFresh;
-    compute_max = std::max(compute_max, effective);
+    if (effective > compute_max) {
+      compute_max = effective;
+      crit_compute = run_seconds[k];
+    }
     fresh_arrivals.push_back(effective);
   }
 
@@ -316,6 +335,16 @@ core::EpochReport DistributedSolver::run_epoch() {
     const auto& state = worker.core.solver->state();
     const auto labels = worker.core.shard.labels();
     ++contributors;
+    // Close this delta's arrow inside the master's reduce span.  A late
+    // delta closes the arrow opened the round it was computed.
+    obs::trace_flow_end(
+        "flow/delta",
+        delta_flow_id(kMasterTrack,
+                      outcome[k] == Outcome::kFresh
+                          ? epoch_
+                          : worker.pending->epoch_started,
+                      static_cast<int>(k)),
+        kMasterTrack);
     if (outcome[k] == Outcome::kFresh) {
       // Δw^(t,k), summed straight into the master's accumulator (Reduce).
       for (std::size_t i = 0; i < shared_.size(); ++i) {
@@ -433,6 +462,15 @@ core::EpochReport DistributedSolver::run_epoch() {
   }
 
   if (tracing) {
+    // Open one model arrow per live worker inside the broadcast span; each
+    // closes at the start of that worker's next solve.
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      if (workers_[k]->status == WorkerStatus::kEvicted) continue;
+      obs::trace_flow_begin(
+          "flow/model",
+          model_flow_id(kMasterTrack, epoch_, static_cast<int>(k)),
+          kMasterTrack);
+    }
     obs::trace_complete("dist/broadcast", bcast_begin_us,
                         obs::trace_now_us() - bcast_begin_us, kMasterTrack,
                         epoch_);
@@ -504,6 +542,24 @@ core::EpochReport DistributedSolver::run_epoch() {
                              sizeof(double), config_.num_workers);
   }
   last_breakdown_ = breakdown;
+
+  // ---- Round attribution (DESIGN.md §15).  compute_solver decomposes into
+  // the critical worker's nominal compute plus everything the master spent
+  // waiting past it (stall inflation and the grace window on a deadline
+  // miss) — so the components sum to breakdown.total() exactly.
+  obs::RoundAttribution attr;
+  attr.compute_seconds = crit_compute;
+  attr.host_seconds = breakdown.compute_host;
+  attr.pcie_seconds = breakdown.pcie;
+  attr.network_seconds = breakdown.network;
+  attr.straggler_wait_seconds = breakdown.compute_solver - crit_compute;
+  last_attr_ = attr;
+  attr_totals_ += attr;
+  ++attr_rounds_;
+  obs::record_round_attribution(attr, attr_totals_, breakdown.total(),
+                                attr_clock_seconds_, epoch_,
+                                attribution_track(kMasterTrack));
+  attr_clock_seconds_ += breakdown.total();
 
   core::EpochReport report;
   report.coordinate_updates = updates;

@@ -45,6 +45,7 @@
 #include "core/convergence.hpp"
 #include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
+#include "obs/attribution.hpp"
 
 namespace tpa::cluster {
 
@@ -157,6 +158,18 @@ class DistributedSolver {
     return last_breakdown_;
   }
 
+  /// Round attribution (DESIGN.md §15): the most recent round's breakdown,
+  /// the cumulative breakdown, and the round count behind it.  Components sum
+  /// to the corresponding sim_seconds by construction — compute_solver is
+  /// split into the critical worker's nominal compute plus straggler wait.
+  const obs::RoundAttribution& last_attribution() const noexcept {
+    return last_attr_;
+  }
+  const obs::RoundAttribution& attribution_totals() const noexcept {
+    return attr_totals_;
+  }
+  std::uint64_t attribution_rounds() const noexcept { return attr_rounds_; }
+
   /// One-time setup: slowest worker's dataset upload (GPU locals only).
   double setup_sim_seconds() const;
 
@@ -220,6 +233,7 @@ class DistributedSolver {
     std::vector<float> dweights;   // matching local weight deltas
     int rounds_needed = 1;
     int rounds_done = 0;
+    int epoch_started = 0;  // the epoch whose flow/delta arrow this closes
   };
 
   struct Worker {
@@ -245,6 +259,10 @@ class DistributedSolver {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<float> shared_;  // the master's (global) shared vector
   EpochBreakdown last_breakdown_{};
+  obs::RoundAttribution last_attr_{};
+  obs::RoundAttribution attr_totals_{};
+  std::uint64_t attr_rounds_ = 0;
+  double attr_clock_seconds_ = 0.0;  // monotone sim clock for attr spans
   double last_gamma_ = 1.0;
   bool gpu_local_ = false;
   core::TimingWorkload global_workload_;  // paper-scale dims for host/net

@@ -1,0 +1,200 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics_registry.hpp"
+
+namespace tpa::obs {
+
+namespace {
+
+constexpr const char* kComponentNames[kAttributionComponents] = {
+    "compute", "host", "pcie", "network", "straggler_wait", "stale_overhead",
+};
+
+constexpr const char* kSpanNames[kAttributionComponents] = {
+    "attr/compute",        "attr/host",
+    "attr/pcie",           "attr/network",
+    "attr/straggler_wait", "attr/stale_overhead",
+};
+
+}  // namespace
+
+const char* attribution_component_name(int index) {
+  return kComponentNames[index];
+}
+
+double attribution_component(const RoundAttribution& attr, int index) {
+  switch (index) {
+    case 0: return attr.compute_seconds;
+    case 1: return attr.host_seconds;
+    case 2: return attr.pcie_seconds;
+    case 3: return attr.network_seconds;
+    case 4: return attr.straggler_wait_seconds;
+    default: return attr.stale_overhead_seconds;
+  }
+}
+
+double& attribution_component(RoundAttribution& attr, int index) {
+  switch (index) {
+    case 0: return attr.compute_seconds;
+    case 1: return attr.host_seconds;
+    case 2: return attr.pcie_seconds;
+    case 3: return attr.network_seconds;
+    case 4: return attr.straggler_wait_seconds;
+    default: return attr.stale_overhead_seconds;
+  }
+}
+
+const char* attribution_span_name(int index) { return kSpanNames[index]; }
+
+void record_round_attribution(const RoundAttribution& round,
+                              const RoundAttribution& cumulative,
+                              double round_total_seconds, double start_seconds,
+                              std::int64_t round_index,
+                              std::int32_t attr_track) {
+  auto& registry = metrics();
+  for (int i = 0; i < kAttributionComponents; ++i) {
+    registry
+        .gauge(std::string("round.attr.") + kComponentNames[i] + "_seconds")
+        .set(attribution_component(cumulative, i));
+  }
+  registry.gauge("round.attr.total_seconds").set(cumulative.total());
+  registry.counter("round.attr.rounds").add(1);
+
+  if (!trace_enabled()) return;
+  // The envelope carries the engine's true round wall-time; the component
+  // tiles should cover it exactly up to float rounding (traceview checks the
+  // residual).  Everything on this track is in simulated microseconds.
+  trace_complete(kAttrRoundSpan, start_seconds * 1e6,
+                 round_total_seconds * 1e6, attr_track, round_index);
+  double cursor = start_seconds;
+  for (int i = 0; i < kAttributionComponents; ++i) {
+    const double seconds = attribution_component(round, i);
+    if (seconds <= 0.0) continue;
+    trace_complete(kSpanNames[i], cursor * 1e6, seconds * 1e6, attr_track,
+                   round_index);
+    cursor += seconds;
+  }
+}
+
+namespace {
+
+int component_index(const std::string& span_name) {
+  for (int i = 0; i < kAttributionComponents; ++i) {
+    if (span_name == kSpanNames[i]) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+AttributionReport analyze_attribution(
+    const std::vector<TraceRecord>& records,
+    const std::map<std::int32_t, std::string>& track_names, int top_n) {
+  AttributionReport report;
+
+  // (track, round) -> row index; rounds arrive mostly in order, the final
+  // sort makes ordering deterministic regardless.
+  std::map<std::pair<std::int32_t, std::int64_t>, std::size_t> row_index;
+  const auto row_for = [&](std::int32_t track,
+                           std::int64_t round) -> AttributionRow& {
+    const auto key = std::make_pair(track, round);
+    const auto it = row_index.find(key);
+    if (it != row_index.end()) return report.rounds[it->second];
+    row_index.emplace(key, report.rounds.size());
+    AttributionRow row;
+    row.track = track;
+    row.round = round;
+    report.rounds.push_back(row);
+    return report.rounds.back();
+  };
+
+  std::map<std::int32_t, TrackUtilization> util;
+  double window_begin_us = 0.0;
+  double window_end_us = 0.0;
+  bool window_seen = false;
+
+  for (const TraceRecord& record : records) {
+    if (record.phase != 'X') continue;
+    if (record.name == kAttrRoundSpan) {
+      row_for(record.track, record.arg).total_us += record.dur_us;
+      continue;
+    }
+    const int component = component_index(record.name);
+    if (component >= 0) {
+      AttributionRow& row = row_for(record.track, record.arg);
+      row.components_us[component] += record.dur_us;
+      CriticalSpan span;
+      span.track = record.track;
+      span.round = record.arg;
+      span.component = kComponentNames[component];
+      span.dur_us = record.dur_us;
+      report.critical.push_back(std::move(span));
+      continue;
+    }
+    // Wall-clock span: contributes to the utilization window, and to a
+    // worker track's busy time.
+    if (!window_seen || record.ts_us < window_begin_us) {
+      window_begin_us = record.ts_us;
+    }
+    if (!window_seen || record.ts_us + record.dur_us > window_end_us) {
+      window_end_us = record.ts_us + record.dur_us;
+    }
+    window_seen = true;
+    const auto name_it = track_names.find(record.track);
+    if (name_it != track_names.end() &&
+        name_it->second.find("worker") != std::string::npos) {
+      TrackUtilization& u = util[record.track];
+      u.track = record.track;
+      u.name = name_it->second;
+      u.busy_us += record.dur_us;
+      u.spans += 1;
+    }
+  }
+
+  std::sort(report.rounds.begin(), report.rounds.end(),
+            [](const AttributionRow& a, const AttributionRow& b) {
+              return a.track != b.track ? a.track < b.track
+                                        : a.round < b.round;
+            });
+
+  // Per-track cumulative rows and the worst residual.
+  std::map<std::int32_t, AttributionRow> totals;
+  for (const AttributionRow& row : report.rounds) {
+    if (row.total_us > 0.0) {
+      report.max_residual_fraction =
+          std::max(report.max_residual_fraction, row.residual_fraction());
+    }
+    AttributionRow& total = totals[row.track];
+    total.track = row.track;
+    total.round = -1;
+    total.total_us += row.total_us;
+    for (int i = 0; i < kAttributionComponents; ++i) {
+      total.components_us[i] += row.components_us[i];
+    }
+  }
+  for (const auto& [track, row] : totals) {
+    report.track_totals.push_back(row);
+  }
+
+  const double window_us = window_seen ? window_end_us - window_begin_us : 0.0;
+  for (auto& [track, u] : util) {
+    u.window_us = window_us;
+    report.utilization.push_back(u);
+  }
+
+  std::sort(report.critical.begin(), report.critical.end(),
+            [](const CriticalSpan& a, const CriticalSpan& b) {
+              return a.dur_us > b.dur_us;
+            });
+  if (top_n >= 0 &&
+      report.critical.size() > static_cast<std::size_t>(top_n)) {
+    report.critical.resize(static_cast<std::size_t>(top_n));
+  }
+
+  return report;
+}
+
+}  // namespace tpa::obs

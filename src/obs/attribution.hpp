@@ -1,0 +1,159 @@
+// Round-attribution: the paper's time decomposition made machine-checkable.
+//
+// The cluster drivers charge every simulated round as compute + host
+// arithmetic + PCIe staging + exposed network (+ straggler wait and, in the
+// async solver, stale-damped/rejected overhead).  This module gives that
+// decomposition a first-class representation:
+//
+//   RoundAttribution       one round's (or a run's cumulative) breakdown in
+//                          simulated seconds; components sum to round
+//                          wall-time by construction.
+//   record_round_attribution
+//                          called by DistributedSolver / AsyncSolver once per
+//                          round: updates the round.attr.* metrics and, when
+//                          tracing, emits an "attr/round" span plus tiled
+//                          "attr/<component>" sub-spans (in simulated
+//                          microseconds) on a dedicated virtual track so the
+//                          breakdown is visible in Perfetto next to the
+//                          wall-clock worker tracks.
+//   analyze_attribution    offline analyzer over trace records (in-process or
+//                          re-parsed from an exported Chrome trace): per-round
+//                          attribution rows with a residual check, per-worker
+//                          utilization, and the top-N critical-path spans.
+//                          tpascd_traceview is a thin CLI over this.
+//
+// The invariant the CI attribution job gates on: for every round row,
+// sum(components) == round total within 1% (the engine-side recorder makes
+// this exact up to float rounding; a larger residual means dropped events or
+// a solver charging time outside the decomposition).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tpa::obs {
+
+/// One round's time decomposition, simulated seconds.  Field order is the
+/// canonical component order (see attribution_component_name).
+struct RoundAttribution {
+  double compute_seconds = 0.0;         // critical worker's nominal solve
+  double host_seconds = 0.0;            // master-side host arithmetic
+  double pcie_seconds = 0.0;            // staging copies to/from device
+  double network_seconds = 0.0;         // exposed (non-overlapped) comms
+  double straggler_wait_seconds = 0.0;  // waiting beyond the critical compute
+  double stale_overhead_seconds = 0.0;  // stale-rejected / damped-away time
+
+  double total() const {
+    return compute_seconds + host_seconds + pcie_seconds + network_seconds +
+           straggler_wait_seconds + stale_overhead_seconds;
+  }
+
+  RoundAttribution& operator+=(const RoundAttribution& o) {
+    compute_seconds += o.compute_seconds;
+    host_seconds += o.host_seconds;
+    pcie_seconds += o.pcie_seconds;
+    network_seconds += o.network_seconds;
+    straggler_wait_seconds += o.straggler_wait_seconds;
+    stale_overhead_seconds += o.stale_overhead_seconds;
+    return *this;
+  }
+};
+
+inline constexpr int kAttributionComponents = 6;
+
+/// Canonical component names, index 0..5: "compute", "host", "pcie",
+/// "network", "straggler_wait", "stale_overhead".
+const char* attribution_component_name(int index);
+
+/// The indexed component of `attr`, canonical order.
+double attribution_component(const RoundAttribution& attr, int index);
+double& attribution_component(RoundAttribution& attr, int index);
+
+/// Span name used on the attribution track for the indexed component,
+/// e.g. "attr/compute".
+const char* attribution_span_name(int index);
+
+/// Span name of the whole-round envelope on the attribution track.
+inline constexpr const char* kAttrRoundSpan = "attr/round";
+
+/// Records one round: bumps the cumulative round.attr.* gauges/counter from
+/// `cumulative` and, when tracing is enabled, emits the round envelope
+/// (duration `round_total_seconds`, the engine's true round wall-time) and
+/// component sub-spans tiled from `start_seconds` on `attr_track`.  The spans
+/// use simulated microseconds; callers keep a monotone attribution clock so
+/// rounds tile left-to-right even when the solver's own sim clock rewinds
+/// (async checkpoint restart).  Zero components are skipped.
+void record_round_attribution(const RoundAttribution& round,
+                              const RoundAttribution& cumulative,
+                              double round_total_seconds, double start_seconds,
+                              std::int64_t round_index,
+                              std::int32_t attr_track);
+
+/// One attribution row reconstructed from trace records: the "attr/round"
+/// span and its component sub-spans for (track, round).
+struct AttributionRow {
+  std::int32_t track = 0;
+  std::int64_t round = 0;
+  double total_us = 0.0;
+  double components_us[kAttributionComponents] = {};
+
+  double component_sum_us() const {
+    double sum = 0.0;
+    for (double c : components_us) sum += c;
+    return sum;
+  }
+  /// |sum(components) - total| / total; 0 for an empty round.
+  double residual_fraction() const {
+    if (total_us <= 0.0) return 0.0;
+    const double diff = component_sum_us() - total_us;
+    return (diff < 0.0 ? -diff : diff) / total_us;
+  }
+};
+
+/// Wall-clock busy time of one worker track across the trace window.
+struct TrackUtilization {
+  std::int32_t track = 0;
+  std::string name;
+  double busy_us = 0.0;    // sum of complete-span durations on the track
+  double window_us = 0.0;  // global [first span start, last span end]
+  std::uint64_t spans = 0;
+
+  double utilization() const {
+    return window_us > 0.0 ? busy_us / window_us : 0.0;
+  }
+};
+
+/// One critical-path contributor: a component slice of some round, ranked by
+/// duration.
+struct CriticalSpan {
+  std::int32_t track = 0;
+  std::int64_t round = 0;
+  std::string component;
+  double dur_us = 0.0;
+};
+
+struct AttributionReport {
+  /// Per-round rows, ordered (track, round).
+  std::vector<AttributionRow> rounds;
+  /// Per-track cumulative rows (round == -1), same component layout.
+  std::vector<AttributionRow> track_totals;
+  std::vector<TrackUtilization> utilization;
+  /// Top-N component slices by duration, descending.
+  std::vector<CriticalSpan> critical;
+  /// Worst residual over all non-empty rounds (the CI gate input).
+  double max_residual_fraction = 0.0;
+};
+
+/// Builds the report from trace records — either trace_records() in-process
+/// or records reconstructed from an exported Chrome trace (traceview).
+/// Attribution spans are matched to rounds by (track, arg); worker
+/// utilization covers tracks whose registered name contains "worker".
+AttributionReport analyze_attribution(
+    const std::vector<TraceRecord>& records,
+    const std::map<std::int32_t, std::string>& track_names, int top_n = 10);
+
+}  // namespace tpa::obs

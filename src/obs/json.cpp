@@ -42,7 +42,7 @@ std::string json_quote(std::string_view s) {
 }
 
 std::string json_number(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;

@@ -1,7 +1,8 @@
 // Minimal JSON rendering helpers shared by the observability exporters (the
 // metrics registry, the Chrome-trace writer, the tools' --metrics-out run
-// reports).  Writing only — the repo never parses JSON; validation happens in
-// CI with a real parser.
+// reports).  Writing only — parsing lives in obs/json_parse.hpp (used by the
+// offline traceview tool); CI additionally validates exports with an
+// independent parser.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +14,9 @@ namespace tpa::obs {
 /// `s` with JSON string escaping applied and surrounding double quotes.
 std::string json_quote(std::string_view s);
 
-/// `v` printed with enough digits to round-trip (%.17g); "0" for NaN/inf,
-/// which JSON cannot represent.
+/// `v` printed with enough digits to round-trip (%.17g); "null" for NaN/inf,
+/// which JSON cannot represent — a gap reads as missing data, never as a
+/// forged zero.
 std::string json_number(double v);
 
 /// Incremental builder for one flat JSON object.  Field types are spelled

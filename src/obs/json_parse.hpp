@@ -1,0 +1,63 @@
+// Minimal recursive-descent JSON parser for the offline tools (tpascd_traceview
+// reads back the Chrome traces and JSONL run reports the exporters write).
+// Supports the full JSON grammar the repo emits — objects, arrays, strings with
+// \uXXXX escapes (incl. surrogate pairs), numbers, true/false/null — with a
+// recursion-depth limit.  Not built for adversarial input or speed; traces are
+// a few MB at most.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tpa::obs {
+
+/// One parsed JSON value.  Objects keep fields in document order (the
+/// exporters already write sorted keys where ordering matters).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First field named `key`, or nullptr if absent / not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Convenience accessors with defaults for absent/mistyped fields.
+  double num_or(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_number() ? v->number : fallback;
+  }
+  std::string str_or(std::string_view key, std::string_view fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_string() ? v->string : std::string(fallback);
+  }
+};
+
+/// Parses one JSON document covering all of `text` (trailing whitespace is
+/// allowed, trailing garbage is not).  Throws std::runtime_error with a byte
+/// offset on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace tpa::obs

@@ -25,9 +25,11 @@ using Clock = std::chrono::steady_clock;
 struct TraceEvent {
   const char* name = nullptr;
   double ts_us = 0.0;
-  double dur_us = -1.0;  // < 0 => instant
+  double dur_us = 0.0;   // complete events only
   std::int32_t track = kCurrentThread;
   std::int64_t arg = kNoArg;
+  std::uint64_t flow_id = 0;  // flow events only
+  char phase = 'X';      // 'X' complete, 'i' instant, 's'/'f' flow halves
 };
 
 /// One ring per recording thread.  Only the owning thread writes; exporters
@@ -109,14 +111,22 @@ std::uint64_t dropped_unlocked(const TraceState& s) noexcept {
 }
 
 void append_event_json(std::string& out, const TraceEvent& event, int tid) {
+  const char phase_str[2] = {event.phase, '\0'};
   JsonObject object;
-  object.field_str("name", event.name)
-      .field_str("ph", event.dur_us < 0.0 ? "i" : "X")
-      .field_num("ts", event.ts_us);
-  if (event.dur_us >= 0.0) {
-    object.field_num("dur", event.dur_us);
+  object.field_str("name", event.name);
+  if (event.phase == 's' || event.phase == 'f') {
+    // Chrome flow events match on (cat, name, id); "bp":"e" binds the finish
+    // to its enclosing slice instead of the next one.
+    object.field_str("cat", "flow").field_str("ph", phase_str);
+    if (event.phase == 'f') object.field_str("bp", "e");
+    object.field_num("ts", event.ts_us).field_uint("id", event.flow_id);
   } else {
-    object.field_str("s", "t");  // instant scoped to its thread/track
+    object.field_str("ph", phase_str).field_num("ts", event.ts_us);
+    if (event.phase == 'X') {
+      object.field_num("dur", event.dur_us);
+    } else {
+      object.field_str("s", "t");  // instant scoped to its thread/track
+    }
   }
   object.field_int("pid", 1).field_int(
       "tid", event.track == kCurrentThread ? tid : event.track);
@@ -148,6 +158,7 @@ void trace_complete(const char* name, double ts_us, double dur_us,
   event.dur_us = dur_us < 0.0 ? 0.0 : dur_us;
   event.track = track;
   event.arg = arg;
+  event.phase = 'X';
   local_buffer().record(event);
 }
 
@@ -156,10 +167,37 @@ void trace_instant(const char* name, std::int32_t track, std::int64_t arg) {
   TraceEvent event;
   event.name = name;
   event.ts_us = trace_now_us();
-  event.dur_us = -1.0;
   event.track = track;
   event.arg = arg;
+  event.phase = 'i';
   local_buffer().record(event);
+}
+
+namespace {
+
+void record_flow(const char* name, std::uint64_t flow_id, std::int32_t track,
+                 char phase) {
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = trace_now_us();
+  event.track = track;
+  event.flow_id = flow_id;
+  event.phase = phase;
+  local_buffer().record(event);
+}
+
+}  // namespace
+
+void trace_flow_begin(const char* name, std::uint64_t flow_id,
+                      std::int32_t track) {
+  if (!trace_enabled()) return;
+  record_flow(name, flow_id, track, 's');
+}
+
+void trace_flow_end(const char* name, std::uint64_t flow_id,
+                    std::int32_t track) {
+  if (!trace_enabled()) return;
+  record_flow(name, flow_id, track, 'f');
 }
 
 void set_track_name(std::int32_t track, const std::string& name) {
@@ -241,6 +279,43 @@ void write_chrome_trace(const std::string& path) {
   if (!file) {
     throw std::runtime_error("trace: write failed for " + path);
   }
+}
+
+std::vector<TraceRecord> trace_records() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<TraceRecord> records;
+  for (const auto& buffer : s.buffers) {
+    const std::uint64_t n = buffer->recorded.load(std::memory_order_acquire);
+    const std::size_t kept =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            n, ThreadBuffer::kCapacity));
+    const std::size_t start =
+        n <= ThreadBuffer::kCapacity
+            ? 0
+            : static_cast<std::size_t>(n % ThreadBuffer::kCapacity);
+    for (std::size_t i = 0; i < kept; ++i) {
+      const TraceEvent& event =
+          buffer->events[(start + i) % ThreadBuffer::kCapacity];
+      TraceRecord record;
+      record.name = event.name;
+      record.phase = event.phase;
+      record.ts_us = event.ts_us;
+      record.dur_us = event.dur_us;
+      record.track =
+          event.track == kCurrentThread ? buffer->tid : event.track;
+      record.arg = event.arg;
+      record.flow_id = event.flow_id;
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+std::map<std::int32_t, std::string> trace_track_names() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.track_names;
 }
 
 std::uint64_t trace_events_recorded() noexcept {

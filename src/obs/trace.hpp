@@ -15,6 +15,15 @@
 // ring wraps, the oldest events are overwritten and counted as dropped —
 // tracing never blocks or grows without bound.
 //
+// Causal links ("flows"): trace_flow_begin/trace_flow_end record Chrome flow
+// events ("s"/"f") carrying a caller-chosen 64-bit id.  A flow binds to the
+// enclosing slice on its track (Perfetto matches by timestamp containment),
+// so emitting the begin inside the producing span and the end inside the
+// consuming span draws an arrow between them — the cluster drivers use this
+// to link each worker's local_solve → delta push → master reduce → broadcast
+// chain across tracks.  Ids only need to be unique per begin/end pair within
+// one trace; matching is by (name, id).
+//
 // Timelines ("tracks"): by default events land on the recording OS thread's
 // track.  A caller may pin events to a virtual track instead (the
 // distributed solver gives each simulated worker its own track, so the
@@ -35,7 +44,9 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
+#include <vector>
 
 namespace tpa::obs {
 
@@ -65,6 +76,19 @@ void trace_complete(const char* name, double ts_us, double dur_us,
 /// Records an instant event ("i") at now.  No-op when disabled.
 void trace_instant(const char* name, std::int32_t track = kCurrentThread,
                    std::int64_t arg = kNoArg);
+
+/// Records the producing ("s") half of a flow at now.  Emit inside the span
+/// that produced the linked work so the arrow starts there.  No-op when
+/// disabled.
+void trace_flow_begin(const char* name, std::uint64_t flow_id,
+                      std::int32_t track = kCurrentThread);
+
+/// Records the consuming ("f", bp="e") half of a flow at now.  Emit inside
+/// the span that consumed the linked work.  An end without a matching begin
+/// (or vice versa, e.g. after a ring wrap) renders as a dangling arrow, not
+/// an error.  No-op when disabled.
+void trace_flow_end(const char* name, std::uint64_t flow_id,
+                    std::int32_t track = kCurrentThread);
 
 /// Names a virtual track (or an OS-thread track id) in the exported trace.
 void set_track_name(std::int32_t track, const std::string& name);
@@ -108,6 +132,26 @@ std::string chrome_trace_json();
 /// Writes chrome_trace_json() to `path`; throws std::runtime_error on I/O
 /// failure.
 void write_chrome_trace(const std::string& path);
+
+/// One surviving ring-buffer event, resolved for in-process consumers (the
+/// obs::attribution analyzer): the name is copied out and kCurrentThread is
+/// replaced by the recording thread's track id.
+struct TraceRecord {
+  std::string name;
+  char phase = 'X';    // 'X' complete, 'i' instant, 's'/'f' flow begin/end
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // complete events only
+  std::int32_t track = 0;
+  std::int64_t arg = kNoArg;
+  std::uint64_t flow_id = 0;  // flow events only
+};
+
+/// Snapshot of every thread's surviving events, oldest first per thread.
+/// Same quiescence contract as chrome_trace_json().
+std::vector<TraceRecord> trace_records();
+
+/// Snapshot of the names registered with set_track_name().
+std::map<std::int32_t, std::string> trace_track_names();
 
 /// Events recorded / overwritten-because-the-ring-wrapped since start (or
 /// the last reset_trace()).

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/attribution.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace tpa::obs {
+namespace {
+
+// ---- RoundAttribution arithmetic ------------------------------------------
+
+TEST(RoundAttribution, TotalSumsCanonicalComponents) {
+  RoundAttribution attr;
+  attr.compute_seconds = 1.0;
+  attr.host_seconds = 0.5;
+  attr.pcie_seconds = 0.25;
+  attr.network_seconds = 0.125;
+  attr.straggler_wait_seconds = 0.0625;
+  attr.stale_overhead_seconds = 0.03125;
+  EXPECT_DOUBLE_EQ(attr.total(), 1.96875);
+
+  double via_index = 0.0;
+  for (int i = 0; i < kAttributionComponents; ++i) {
+    via_index += attribution_component(attr, i);
+  }
+  EXPECT_DOUBLE_EQ(via_index, attr.total());
+
+  RoundAttribution sum;
+  sum += attr;
+  sum += attr;
+  EXPECT_DOUBLE_EQ(sum.total(), 2.0 * attr.total());
+}
+
+TEST(RoundAttribution, ComponentNamesMatchSpanNames) {
+  for (int i = 0; i < kAttributionComponents; ++i) {
+    const std::string span = attribution_span_name(i);
+    EXPECT_EQ(span, std::string("attr/") + attribution_component_name(i));
+  }
+  EXPECT_EQ(std::string(attribution_component_name(0)), "compute");
+  EXPECT_EQ(std::string(attribution_component_name(4)), "straggler_wait");
+}
+
+// ---- analyze_attribution on hand-built span sets --------------------------
+
+TraceRecord make_span(const char* name, double ts_us, double dur_us,
+                      std::int32_t track, std::int64_t arg = kNoArg) {
+  TraceRecord record;
+  record.name = name;
+  record.phase = 'X';
+  record.ts_us = ts_us;
+  record.dur_us = dur_us;
+  record.track = track;
+  record.arg = arg;
+  return record;
+}
+
+TEST(AnalyzeAttribution, RowsSumAndResidualIsZeroWhenExact) {
+  constexpr std::int32_t kAttr = 1500;
+  std::vector<TraceRecord> records;
+  // Round 1: 100us = 60 compute + 30 network + 10 straggler_wait.
+  records.push_back(make_span("attr/round", 0.0, 100.0, kAttr, 1));
+  records.push_back(make_span("attr/compute", 0.0, 60.0, kAttr, 1));
+  records.push_back(make_span("attr/network", 60.0, 30.0, kAttr, 1));
+  records.push_back(make_span("attr/straggler_wait", 90.0, 10.0, kAttr, 1));
+  // Round 2: 80us, all compute.
+  records.push_back(make_span("attr/round", 100.0, 80.0, kAttr, 2));
+  records.push_back(make_span("attr/compute", 100.0, 80.0, kAttr, 2));
+
+  const auto report = analyze_attribution(records, {});
+  ASSERT_EQ(report.rounds.size(), 2u);
+  EXPECT_EQ(report.rounds[0].round, 1);
+  EXPECT_DOUBLE_EQ(report.rounds[0].total_us, 100.0);
+  EXPECT_DOUBLE_EQ(report.rounds[0].components_us[0], 60.0);
+  EXPECT_DOUBLE_EQ(report.rounds[0].components_us[3], 30.0);
+  EXPECT_DOUBLE_EQ(report.rounds[0].components_us[4], 10.0);
+  EXPECT_DOUBLE_EQ(report.rounds[0].component_sum_us(), 100.0);
+  EXPECT_DOUBLE_EQ(report.rounds[0].residual_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(report.max_residual_fraction, 0.0);
+
+  // Per-track cumulative row aggregates both rounds.
+  ASSERT_EQ(report.track_totals.size(), 1u);
+  EXPECT_EQ(report.track_totals[0].round, -1);
+  EXPECT_DOUBLE_EQ(report.track_totals[0].total_us, 180.0);
+  EXPECT_DOUBLE_EQ(report.track_totals[0].components_us[0], 140.0);
+}
+
+TEST(AnalyzeAttribution, MissingComponentShowsAsResidual) {
+  constexpr std::int32_t kAttr = 1500;
+  std::vector<TraceRecord> records;
+  records.push_back(make_span("attr/round", 0.0, 100.0, kAttr, 1));
+  records.push_back(make_span("attr/compute", 0.0, 80.0, kAttr, 1));
+  const auto report = analyze_attribution(records, {});
+  ASSERT_EQ(report.rounds.size(), 1u);
+  EXPECT_NEAR(report.max_residual_fraction, 0.2, 1e-12);
+}
+
+TEST(AnalyzeAttribution, UtilizationAndCriticalSpans) {
+  std::map<std::int32_t, std::string> names;
+  names[2] = "dist/worker 0";
+  names[3] = "dist/worker 1";
+  names[1000] = "dist/master";
+  std::vector<TraceRecord> records;
+  // Worker 0 is busy 80 of the 100us window; worker 1 only 20.
+  records.push_back(make_span("dist/local_solve", 0.0, 80.0, 2));
+  records.push_back(make_span("dist/local_solve", 0.0, 20.0, 3));
+  records.push_back(make_span("dist/epoch", 0.0, 100.0, 1000));
+  records.push_back(make_span("attr/round", 0.0, 100.0, 1500, 1));
+  records.push_back(make_span("attr/compute", 0.0, 70.0, 1500, 1));
+  records.push_back(make_span("attr/straggler_wait", 70.0, 30.0, 1500, 1));
+
+  const auto report = analyze_attribution(records, names, /*top_n=*/1);
+  ASSERT_EQ(report.utilization.size(), 2u);  // master is not a worker track
+  EXPECT_EQ(report.utilization[0].name, "dist/worker 0");
+  EXPECT_DOUBLE_EQ(report.utilization[0].busy_us, 80.0);
+  EXPECT_DOUBLE_EQ(report.utilization[0].window_us, 100.0);
+  EXPECT_DOUBLE_EQ(report.utilization[0].utilization(), 0.8);
+  EXPECT_DOUBLE_EQ(report.utilization[1].utilization(), 0.2);
+
+  // top_n caps the ranked component slices; the biggest one wins.
+  ASSERT_EQ(report.critical.size(), 1u);
+  EXPECT_EQ(report.critical[0].component, "compute");
+  EXPECT_DOUBLE_EQ(report.critical[0].dur_us, 70.0);
+}
+
+TEST(AnalyzeAttribution, EmptyInputYieldsEmptyReport) {
+  const auto report = analyze_attribution({}, {});
+  EXPECT_TRUE(report.rounds.empty());
+  EXPECT_TRUE(report.utilization.empty());
+  EXPECT_TRUE(report.critical.empty());
+  EXPECT_DOUBLE_EQ(report.max_residual_fraction, 0.0);
+}
+
+// ---- record_round_attribution round-trip through the tracer ---------------
+
+class AttrTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(false);
+    reset_trace();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    reset_trace();
+  }
+};
+
+TEST_F(AttrTraceTest, RecorderEmitsAnalyzableSpans) {
+  set_trace_enabled(true);
+  RoundAttribution round;
+  round.compute_seconds = 0.004;
+  round.network_seconds = 0.001;
+  RoundAttribution cumulative = round;
+  record_round_attribution(round, cumulative, /*round_total_seconds=*/0.005,
+                           /*start_seconds=*/0.0, /*round_index=*/1,
+                           /*attr_track=*/1500);
+  cumulative += round;
+  record_round_attribution(round, cumulative, 0.005, 0.005, 2, 1500);
+  set_trace_enabled(false);
+
+  const auto report = analyze_attribution(trace_records(), {});
+  ASSERT_EQ(report.rounds.size(), 2u);
+  for (const auto& row : report.rounds) {
+    EXPECT_NEAR(row.total_us, 5000.0, 1e-6);
+    EXPECT_NEAR(row.components_us[0], 4000.0, 1e-6);
+    EXPECT_NEAR(row.components_us[3], 1000.0, 1e-6);
+    EXPECT_LT(row.residual_fraction(), 1e-9);
+  }
+  // The cumulative gauges reflect the last call.
+  EXPECT_DOUBLE_EQ(metrics().gauge("round.attr.compute_seconds").value(),
+                   0.008);
+  EXPECT_DOUBLE_EQ(metrics().gauge("round.attr.total_seconds").value(),
+                   cumulative.total());
+}
+
+TEST_F(AttrTraceTest, RingWrapDropsOldestButKeepsRowsConsistent) {
+  set_trace_enabled(true);
+  RoundAttribution round;
+  round.compute_seconds = 0.001;
+  round.host_seconds = 0.0005;
+  RoundAttribution cumulative;
+  // Each round emits 3 spans (envelope + 2 non-zero components); push enough
+  // rounds through one thread's ring to wrap it.
+  const int rounds = (1 << 15) / 3 + 64;
+  double clock = 0.0;
+  for (int r = 1; r <= rounds; ++r) {
+    cumulative += round;
+    record_round_attribution(round, cumulative, round.total(), clock, r, 1500);
+    clock += round.total();
+  }
+  set_trace_enabled(false);
+  EXPECT_GT(trace_events_dropped(), 0u);
+
+  const auto report = analyze_attribution(trace_records(), {});
+  // The oldest rounds fell off the ring; every *surviving complete* round
+  // still sums to its envelope.  A boundary round can lose its envelope
+  // (emitted first, dropped first) — those rows have total 0 and are
+  // excluded from the residual gate by construction.
+  EXPECT_LT(report.rounds.size(), static_cast<std::size_t>(rounds));
+  EXPECT_GT(report.rounds.size(), 1000u);
+  EXPECT_LT(report.max_residual_fraction, 1e-9);
+}
+
+// ---- JSON parser ----------------------------------------------------------
+
+TEST(JsonParse, ScalarsAndNesting) {
+  const auto v = parse_json(
+      " {\"a\": 1.5, \"b\": [true, false, null, \"x\"], "
+      "\"c\": {\"d\": -2e3}} ");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.num_or("a", 0.0), 1.5);
+  const auto* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 4u);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_TRUE(b->array[2].is_null());
+  EXPECT_EQ(b->array[3].string, "x");
+  const auto* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->num_or("d", 0.0), -2000.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.str_or("missing", "fb"), "fb");
+}
+
+TEST(JsonParse, StringEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(parse_json("\"a\\n\\t\\\"b\\\\\"").string, "a\n\t\"b\\");
+  EXPECT_EQ(parse_json("\"\\u0041\"").string, "A");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json("\"\\uD83D\\uDE00\"").string, "\xF0\x9F\x98\x80");
+  EXPECT_THROW(parse_json("\"\\uD83D\""), std::runtime_error);  // lone high
+  EXPECT_THROW(parse_json("\"a\nb\""), std::runtime_error);  // raw control
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("nul"), std::runtime_error);
+  EXPECT_THROW(parse_json("{} trailing"), std::runtime_error);
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_THROW(parse_json(deep), std::runtime_error);
+}
+
+TEST_F(AttrTraceTest, ChromeTraceExportParsesBackLosslessly) {
+  set_trace_enabled(true);
+  set_track_name(7, "unit/worker 0");
+  trace_complete("roundtrip/span", 1.0, 2.0, 7, 42);
+  trace_flow_begin("roundtrip/flow", 99, 7);
+  set_trace_enabled(false);
+
+  const auto root = parse_json(chrome_trace_json());
+  const auto* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_span = false, saw_flow = false, saw_name = false;
+  for (const auto& event : events->array) {
+    const auto ph = event.str_or("ph", "");
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_EQ(event.str_or("name", ""), "roundtrip/span");
+      EXPECT_DOUBLE_EQ(event.num_or("ts", 0.0), 1.0);
+      EXPECT_DOUBLE_EQ(event.num_or("dur", 0.0), 2.0);
+      EXPECT_DOUBLE_EQ(event.num_or("tid", 0.0), 7.0);
+    } else if (ph == "s") {
+      saw_flow = true;
+      EXPECT_EQ(event.str_or("cat", ""), "flow");
+      EXPECT_DOUBLE_EQ(event.num_or("id", 0.0), 99.0);
+    } else if (ph == "M") {
+      saw_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_flow);
+  EXPECT_TRUE(saw_name);
+}
+
+}  // namespace
+}  // namespace tpa::obs

@@ -89,14 +89,21 @@ TEST(Json, QuoteEscapes) {
   EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
   EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
   EXPECT_EQ(json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_quote("a\rb"), "\"a\\rb\"");
   EXPECT_EQ(json_quote(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x1f')), "\"\\u001f\"");
+  EXPECT_EQ(json_quote(std::string(1, '\0')), "\"\\u0000\"");
+  // 0x20 is the first character that passes through unescaped.
+  EXPECT_EQ(json_quote(" "), "\" \"");
 }
 
-TEST(Json, NumberRoundTripsAndRejectsNonFinite) {
+TEST(Json, NumberRoundTripsAndMapsNonFiniteToNull) {
   EXPECT_EQ(json_number(0.5), "0.5");
   EXPECT_EQ(json_number(3.0), "3");
-  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
-  EXPECT_EQ(json_number(std::nan("")), "0");
+  // NaN/inf have no JSON encoding; null reads as a gap, never a forged zero.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
 }
 
 TEST(Json, ObjectBuilder) {
@@ -197,6 +204,22 @@ TEST(MetricsRegistry, TextAndJsonlExporters) {
   EXPECT_NE(jsonl.find("\"type\": \"histogram\""), std::string::npos);
 }
 
+TEST(MetricsRegistry, JsonlExportIsSortedByNameRegardlessOfRegistration) {
+  MetricsRegistry registry;
+  registry.gauge("z.gauge").set(1.0);
+  registry.gauge("a.gauge").set(2.0);
+  registry.counter("z.count").add();
+  registry.counter("a.count").add();
+  std::ostringstream out;
+  registry.write_jsonl(out);
+  const auto jsonl = out.str();
+  // Counters then gauges, each block sorted by name — byte-identical output
+  // for identical runs, so run reports diff cleanly.
+  EXPECT_LT(jsonl.find("\"a.count\""), jsonl.find("\"z.count\""));
+  EXPECT_LT(jsonl.find("\"z.count\""), jsonl.find("\"a.gauge\""));
+  EXPECT_LT(jsonl.find("\"a.gauge\""), jsonl.find("\"z.gauge\""));
+}
+
 TEST(MetricsRegistry, ResetZeroesButKeepsNames) {
   MetricsRegistry registry;
   registry.counter("c").add(5);
@@ -287,6 +310,56 @@ TEST_F(TraceTest, RingWrapCountsDropped) {
   // The export still succeeds and reports the drop count.
   const auto json = chrome_trace_json();
   EXPECT_NE(json.find("\"dropped_events\": 100"), std::string::npos);
+}
+
+TEST_F(TraceTest, FlowEventsExportAsChromeFlowPairs) {
+  set_trace_enabled(true);
+  trace_complete("flow/producer", 0.0, 10.0, 3);
+  trace_flow_begin("flow/test", 77, 3);
+  trace_complete("flow/consumer", 20.0, 10.0, 4);
+  trace_flow_end("flow/test", 77, 4);
+  set_trace_enabled(false);
+
+  EXPECT_EQ(trace_events_recorded(), 4u);
+  const auto json = chrome_trace_json();
+  // Begin half: ph "s", flow category, the shared id, no "bp".
+  EXPECT_NE(json.find("\"name\": \"flow/test\", \"cat\": \"flow\", "
+                      "\"ph\": \"s\""),
+            std::string::npos);
+  // End half binds to the enclosing slice ("bp": "e") with the same id.
+  EXPECT_NE(json.find("\"ph\": \"f\", \"bp\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 77"), std::string::npos);
+}
+
+TEST_F(TraceTest, FlowEventsRespectEnablement) {
+  const auto before = trace_events_recorded();
+  trace_flow_begin("flow/off", 1);
+  trace_flow_end("flow/off", 1);
+  EXPECT_EQ(trace_events_recorded(), before);
+}
+
+TEST_F(TraceTest, TraceRecordsMirrorsTheExport) {
+  set_trace_enabled(true);
+  set_track_name(9, "unit/worker 0");
+  trace_complete("rec/span", 5.0, 2.5, 9, 4);
+  trace_instant("rec/instant", 9);
+  trace_flow_begin("rec/flow", 123, 9);
+  set_trace_enabled(false);
+
+  const auto records = trace_records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "rec/span");
+  EXPECT_EQ(records[0].phase, 'X');
+  EXPECT_EQ(records[0].ts_us, 5.0);
+  EXPECT_EQ(records[0].dur_us, 2.5);
+  EXPECT_EQ(records[0].track, 9);
+  EXPECT_EQ(records[0].arg, 4);
+  EXPECT_EQ(records[1].phase, 'i');
+  EXPECT_EQ(records[2].phase, 's');
+  EXPECT_EQ(records[2].flow_id, 123u);
+  const auto names = trace_track_names();
+  ASSERT_EQ(names.count(9), 1u);
+  EXPECT_EQ(names.at(9), "unit/worker 0");
 }
 
 TEST_F(TraceTest, SpanDurationIsNonNegativeAndOrdered) {

@@ -5,6 +5,7 @@
 // same metadata in its BENCH_*.json "meta" object.
 #pragma once
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -32,6 +33,19 @@ inline std::string run_meta_json(const std::string& tool) {
       .field_uint("trace_events_recorded", obs::trace_events_recorded())
       .field_uint("trace_events_dropped", obs::trace_events_dropped())
       .str();
+}
+
+/// Loudly surfaces ring-buffer overflow: a truncated trace silently hides
+/// the *oldest* spans, which is exactly where a root cause tends to live.
+/// Call once per run, after the solvers finish and before reports go out.
+inline void warn_if_trace_dropped(const std::string& tool) {
+  const auto dropped = obs::trace_events_dropped();
+  if (dropped == 0) return;
+  std::fprintf(stderr,
+               "%s: warning: trace ring overflowed — %llu oldest spans were "
+               "overwritten; the Chrome trace and attribution are incomplete "
+               "(trace fewer rounds or raise the per-thread ring capacity)\n",
+               tool.c_str(), static_cast<unsigned long long>(dropped));
 }
 
 inline std::ofstream open_report(const std::string& path) {

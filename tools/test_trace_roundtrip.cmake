@@ -1,12 +1,14 @@
 # Observability roundtrip: a distributed fault drill with --trace-out and
 # --metrics-out must produce a Chrome trace carrying per-worker
-# solve/reduce/broadcast spans plus crash/restart instants, and a run report
-# whose cluster.event.* counters agree with the fault log; a .csv trace-out
-# must produce the gap-vs-time table.
+# solve/reduce/broadcast spans, crash/restart instants, causal flow arrows
+# and the attribution track, and a run report whose cluster.event.* counters
+# agree with the fault log; a .csv trace-out must produce the gap-vs-time
+# table.  The stalled worker guarantees a non-zero straggler_wait component.
 execute_process(
   COMMAND ${TRAIN_BIN} --generate webspam --examples 256 --features 512
           --epochs 8 --target-gap 0 --workers 3
           --crash-worker 1 --crash-epoch 3
+          --stall-worker 2 --stall-factor 4
           --trace-out ${WORK_DIR}/drill_trace.json
           --metrics-out ${WORK_DIR}/drill_metrics.jsonl
   RESULT_VARIABLE drill_result
@@ -27,7 +29,11 @@ file(READ ${WORK_DIR}/drill_trace.json trace_json)
 foreach(needle "\"traceEvents\"" "dist/local_solve" "dist/reduce"
         "dist/broadcast" "dist/straggler_wait" "dist/epoch"
         "\"crash\"" "\"restart\"" "dist/worker 1" "dist/master"
-        "\"ph\": \"X\"" "\"ph\": \"i\"")
+        "\"ph\": \"X\"" "\"ph\": \"i\""
+        "\"ph\": \"s\"" "\"ph\": \"f\"" "\"bp\": \"e\""
+        "flow/delta" "flow/model"
+        "dist/attribution (sim)" "attr/round" "attr/compute"
+        "attr/straggler_wait")
   string(FIND "${trace_json}" "${needle}" found)
   if(found EQUAL -1)
     message(FATAL_ERROR "Chrome trace missing ${needle}")
@@ -39,12 +45,51 @@ foreach(needle "\"type\": \"meta\"" "\"tool\": \"tpascd_train\""
         "\"git_sha\"" "\"kernel_backend\"" "\"type\": \"point\""
         "\"kind\": \"crash\"" "\"kind\": \"restart\""
         "cluster.event.crash" "cluster.event.restart" "cluster.epochs"
-        "train.gap_evals")
+        "train.gap_evals" "trace_events_dropped"
+        "round.attr.total_seconds" "round.attr.compute_seconds"
+        "round.attr.straggler_wait_seconds" "round.attr.rounds")
   string(FIND "${metrics_jsonl}" "${needle}" found)
   if(found EQUAL -1)
     message(FATAL_ERROR "run report missing ${needle}:\n${metrics_jsonl}")
   endif()
 endforeach()
+
+# The offline analyzer must reconstruct the attribution from the exported
+# files and confirm the components sum to the round wall-time within 1%.
+execute_process(
+  COMMAND ${TRACEVIEW_BIN} --trace ${WORK_DIR}/drill_trace.json
+          --metrics ${WORK_DIR}/drill_metrics.jsonl
+          --check --max-residual 0.01
+  RESULT_VARIABLE view_result
+  OUTPUT_VARIABLE view_output
+  ERROR_VARIABLE view_stderr)
+if(NOT view_result EQUAL 0)
+  message(FATAL_ERROR
+          "traceview check failed: ${view_result}\n${view_output}\n${view_stderr}")
+endif()
+foreach(needle "per-round attribution" "per-worker utilization"
+        "critical-path slices" "traceview checks passed")
+  string(FIND "${view_output}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "traceview output missing \"${needle}\":\n${view_output}")
+  endif()
+endforeach()
+
+# Diffing a report against itself is the degenerate base case: it must parse
+# both sides and find zero changed metrics.
+execute_process(
+  COMMAND ${TRACEVIEW_BIN} --diff ${WORK_DIR}/drill_metrics.jsonl
+          ${WORK_DIR}/drill_metrics.jsonl
+  RESULT_VARIABLE diff_result
+  OUTPUT_VARIABLE diff_output
+  ERROR_VARIABLE diff_stderr)
+if(NOT diff_result EQUAL 0)
+  message(FATAL_ERROR "traceview diff failed: ${diff_result}\n${diff_stderr}")
+endif()
+string(FIND "${diff_output}" "0 of " self_diff_found)
+if(self_diff_found EQUAL -1)
+  message(FATAL_ERROR "self-diff should change nothing:\n${diff_output}")
+endif()
 # The drill injects exactly one crash and sees exactly one restart; the
 # counters must agree with the ConvergenceTrace event counts printed above.
 foreach(needle "\"name\": \"cluster.event.crash\", \"value\": 1"

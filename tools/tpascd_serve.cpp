@@ -178,6 +178,7 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    tools::warn_if_trace_dropped("tpascd_serve");
     if (!trace_out.empty()) {
       // The scoring pool has been drained, so the export sees quiesced
       // rings (the tracer's contract).

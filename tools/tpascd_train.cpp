@@ -20,17 +20,20 @@
 //                --join-worker 2 --join-round 6           # elastic drill
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/async_solver.hpp"
 #include "cluster/dist_solver.hpp"
+#include "cluster/placement/drift.hpp"
 #include "core/convergence.hpp"
 #include "core/metrics.hpp"
 #include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
 #include "data/generators.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "sparse/load.hpp"
@@ -125,10 +128,35 @@ std::string placement_report_json(
       .str();
 }
 
+/// {"type":"drift",...} line for the --metrics-out report: the cost-model
+/// audit verdict, one term per entry (tpascd_traceview --diff reads these).
+std::string drift_report_json(const cluster::placement::DriftReport& drift) {
+  std::string terms = "[";
+  for (std::size_t i = 0; i < drift.terms.size(); ++i) {
+    const auto& term = drift.terms[i];
+    if (i > 0) terms += ",";
+    terms += obs::JsonObject()
+                 .field_str("term", term.name)
+                 .field_num("predicted_seconds", term.predicted_seconds)
+                 .field_num("measured_seconds", term.measured_seconds)
+                 .field_num("rel_error", term.rel_error)
+                 .str();
+  }
+  terms += "]";
+  return obs::JsonObject()
+      .field_str("type", "drift")
+      .field_uint("rounds", drift.rounds)
+      .field_num("max_rel_error", drift.max_rel_error)
+      .field_raw("terms", terms)
+      .str();
+}
+
 void write_trace_outputs(const util::ArgParser& parser,
                          const core::ConvergenceTrace& trace,
                          const std::string& trace_out, bool chrome_trace,
-                         const std::string& placement_json = {}) {
+                         const std::string& placement_json = {},
+                         const std::string& drift_json = {}) {
+  tools::warn_if_trace_dropped("tpascd_train");
   if (!trace_out.empty()) {
     if (chrome_trace) {
       obs::write_chrome_trace(trace_out);
@@ -149,6 +177,7 @@ void write_trace_outputs(const util::ArgParser& parser,
     auto out = tools::open_report(path);
     out << tools::run_meta_json("tpascd_train") << '\n';
     if (!placement_json.empty()) out << placement_json << '\n';
+    if (!drift_json.empty()) out << drift_json << '\n';
     trace.write_jsonl(out);
     obs::metrics().write_jsonl(out);
     std::printf("run report written to %s\n", path.c_str());
@@ -483,6 +512,23 @@ int main(int argc, char** argv) {
     }
 
     std::string placement_json;
+    std::string drift_json;
+    // "Where did the round go?" — the per-round mean of the attribution the
+    // solver records as round.attr.* (components sum to the round wall-time).
+    const auto print_attribution = [](const obs::RoundAttribution& totals,
+                                      std::uint64_t rounds) {
+      if (rounds == 0) return;
+      const double inv = 1.0 / static_cast<double>(rounds);
+      std::printf(
+          "attribution (per-round mean over %llu rounds): compute %.3f ms, "
+          "host %.3f ms, pcie %.3f ms, network %.3f ms, straggler wait "
+          "%.3f ms, stale overhead %.3f ms\n",
+          static_cast<unsigned long long>(rounds),
+          1e3 * totals.compute_seconds * inv, 1e3 * totals.host_seconds * inv,
+          1e3 * totals.pcie_seconds * inv, 1e3 * totals.network_seconds * inv,
+          1e3 * totals.straggler_wait_seconds * inv,
+          1e3 * totals.stale_overhead_seconds * inv);
+    };
     const auto report_placement =
         [&](const cluster::placement::PlacementResult* plan,
             double simulated_round_seconds) {
@@ -595,6 +641,8 @@ int main(int argc, char** argv) {
       const auto rounds = std::max(1, solver.current_epoch());
       report_placement(solver.placement_result(),
                        trace.points().back().sim_seconds / rounds);
+      print_attribution(solver.attribution_totals(),
+                        solver.attribution_rounds());
       model.epoch = static_cast<std::uint32_t>(solver.current_epoch());
       model.weights = solver.global_weights();
       model.shared = solver.global_shared();
@@ -637,6 +685,16 @@ int main(int argc, char** argv) {
       }
       report_placement(solver.placement_result(),
                        solver.last_breakdown().total());
+      print_attribution(solver.attribution_totals(),
+                        solver.attribution_rounds());
+      if (const auto* plan = solver.placement_result()) {
+        const auto drift = cluster::placement::audit_placement_drift(
+            plan->predicted, solver.attribution_totals(),
+            solver.attribution_rounds());
+        cluster::placement::record_drift_obs(drift);
+        cluster::placement::print_drift_report(std::cout, drift);
+        drift_json = drift_report_json(drift);
+      }
       model.epoch = static_cast<std::uint32_t>(solver.current_epoch());
       model.weights = solver.global_weights();
       model.shared = solver.global_shared();
@@ -662,7 +720,7 @@ int main(int argc, char** argv) {
     }
 
     write_trace_outputs(parser, trace, trace_out, chrome_trace,
-                        placement_json);
+                        placement_json, drift_json);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
