@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "cluster/delta_codec.hpp"
 #include "gpusim/device.hpp"
 #include "sparse/io_binary.hpp"
 #include "util/timer.hpp"
@@ -170,6 +171,9 @@ AsyncSolver::AsyncSolver(const data::Dataset& global,
     throw std::invalid_argument(
         "AsyncSolver: staleness_window must be >= 0 (0 = auto)");
   }
+  if (config.delta_threshold < 0.0) {
+    throw std::invalid_argument("AsyncSolver: delta_threshold must be >= 0");
+  }
   for (const auto& event : config.membership) {
     if (event.round < 1 || event.worker < 0 ||
         event.worker >= config.num_workers) {
@@ -202,6 +206,10 @@ AsyncSolver::AsyncSolver(const data::Dataset& global,
     cost_options.local_passes = config.local_epochs_per_round;
     cost_options.seconds_per_vector_element =
         config.local_solver.cpu_cost.seconds_per_vector_element;
+    if (config.compress_deltas) {
+      cost_options.delta_wire_bytes = quantized_delta_wire_bytes(
+          static_cast<std::size_t>(global_workload_.shared_dim));
+    }
     placement::PlacementCostModel cost_model(config.fleet, dim,
                                              global_workload_, config.network,
                                              cost_options);
@@ -290,8 +298,17 @@ AsyncSolver::CycleCost AsyncSolver::cycle_cost(const Worker& worker) const {
   // Point-to-point pull + push instead of the sync tree: the master link is
   // modelled at the same granularity as the reduce/broadcast trees (no
   // master-side serialization), which favours neither arm — both charge one
-  // latency + bytes/bw term per hop.
-  cost.network = 2.0 * config_.network.point_to_point_seconds(shared_bytes);
+  // latency + bytes/bw term per hop.  Compression shrinks the push (delta)
+  // leg to the deterministic dense-quantized wire size; the pull leg is the
+  // dense model either way.
+  if (config_.compress_deltas) {
+    cost.network =
+        config_.network.point_to_point_seconds(shared_bytes) +
+        config_.network.point_to_point_seconds(quantized_delta_wire_bytes(
+            static_cast<std::size_t>(global_workload_.shared_dim)));
+  } else {
+    cost.network = 2.0 * config_.network.point_to_point_seconds(shared_bytes);
+  }
   if (config_.aggregation == AggregationMode::kAdaptive) {
     cost.network +=
         config_.network.point_to_point_seconds(5 * sizeof(double));
@@ -467,14 +484,46 @@ void AsyncSolver::complete_cycle(int index, double segment_seconds) {
                  static_cast<double>(worker.pulled_shared[i]);
   }
 
-  if (worker.fault.kind == FaultKind::kCorruptDelta) {
-    const std::uint64_t sent = delta_checksum(dshared);
-    corrupt_in_transit(dshared);
-    if (delta_checksum(dshared) != sent) {
-      charge_split(segment_seconds);
-      rollback();
-      record_event(index, core::ClusterEventKind::kDeltaCorrupted);
-      return;
+  // Push-leg bytes accounting (and the raw fp64 baseline the precision
+  // ablation's reduction gate divides by).
+  const auto charge_wire = [&](std::size_t wire) {
+    const std::size_t dense = dense_delta_wire_bytes(shared_.size());
+    delta_bytes_on_wire_ += wire;
+    delta_bytes_dense_ += dense;
+    obs::metrics().counter("cluster.delta.wire_bytes").add(wire);
+    obs::metrics().counter("cluster.delta.dense_bytes").add(dense);
+  };
+
+  if (config_.compress_deltas) {
+    // The delta travels quantized; the master works with the decoded image,
+    // so the invariant holds up to the fp16 quantization error of the delta
+    // (DESIGN.md §16).  A transit flip lands in the quantized payload and
+    // the FNV stream over the encoded image must still catch it.
+    CompressedDelta encoded =
+        encode_delta(dshared, DeltaCodecConfig{config_.delta_threshold, 256});
+    charge_wire(encoded.wire_bytes());
+    if (worker.fault.kind == FaultKind::kCorruptDelta) {
+      const std::uint64_t sent = encoded.checksum;
+      corrupt_compressed_in_transit(encoded);
+      if (compressed_delta_checksum(encoded) != sent) {
+        charge_split(segment_seconds);
+        rollback();
+        record_event(index, core::ClusterEventKind::kDeltaCorrupted);
+        return;
+      }
+    }
+    decode_delta(encoded, dshared);
+  } else {
+    charge_wire(dense_delta_wire_bytes(shared_.size()));
+    if (worker.fault.kind == FaultKind::kCorruptDelta) {
+      const std::uint64_t sent = delta_checksum(dshared);
+      corrupt_in_transit(dshared);
+      if (delta_checksum(dshared) != sent) {
+        charge_split(segment_seconds);
+        rollback();
+        record_event(index, core::ClusterEventKind::kDeltaCorrupted);
+        return;
+      }
     }
   }
 

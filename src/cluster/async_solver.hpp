@@ -115,6 +115,15 @@ struct AsyncConfig {
   placement::FleetSpec fleet{};
   placement::PlacementMode placement = placement::PlacementMode::kUniform;
   std::uint64_t placement_seed = 7;
+
+  // ---- Compressed delta exchange (DESIGN.md §16) ----
+  /// Same semantics as DistConfig: the worker → master push leg carries the
+  /// quantized fp16 + per-block fp32-scale encoding; the model pull leg
+  /// stays the dense fp32 vector.  Off by default (bit-identical exchange).
+  bool compress_deltas = false;
+  /// Relative sparsification threshold for the codec; 0 keeps the
+  /// deterministic dense-quantized layout.
+  double delta_threshold = 0.0;
 };
 
 enum class AsyncWorkerStatus {
@@ -207,6 +216,15 @@ class AsyncSolver {
   int effective_staleness_window() const;
   const std::vector<core::ClusterEvent>& events() const noexcept {
     return events_;
+  }
+
+  /// Cumulative delta payload bytes pushed to the master (encoded form when
+  /// compression is on; raw fp64 otherwise) and the raw fp64 baseline.
+  std::uint64_t delta_bytes_on_wire() const noexcept {
+    return delta_bytes_on_wire_;
+  }
+  std::uint64_t delta_bytes_dense() const noexcept {
+    return delta_bytes_dense_;
   }
 
   /// Round attribution (DESIGN.md §15): master-critical-path segment
@@ -334,6 +352,8 @@ class AsyncSolver {
   // re-zeroed by the checkpoint rendezvous, so rounds tile left-to-right.
   double attr_clock_seconds_ = 0.0;
   std::uint64_t flow_seq_ = 0;  // pull/push flow-arrow ids
+  std::uint64_t delta_bytes_on_wire_ = 0;
+  std::uint64_t delta_bytes_dense_ = 0;
   std::vector<core::ClusterEvent> events_;
 };
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "cluster/delta_codec.hpp"
+
 #include "gpusim/device.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
@@ -47,6 +49,10 @@ DistributedSolver::DistributedSolver(const data::Dataset& global,
         "DistributedSolver: straggler_grace must be > 1 (the deadline must "
         "allow at least a full healthy epoch)");
   }
+  if (config.delta_threshold < 0.0) {
+    throw std::invalid_argument(
+        "DistributedSolver: delta_threshold must be >= 0");
+  }
   config.network.validate();
   const bool heterogeneous = !config.fleet.empty();
   if (heterogeneous &&
@@ -71,6 +77,10 @@ DistributedSolver::DistributedSolver(const data::Dataset& global,
     cost_options.comm_overlap = config.comm_overlap;
     cost_options.seconds_per_vector_element =
         config.local_solver.cpu_cost.seconds_per_vector_element;
+    if (config.compress_deltas) {
+      cost_options.delta_wire_bytes = quantized_delta_wire_bytes(
+          static_cast<std::size_t>(global_workload_.shared_dim));
+    }
     placement::PlacementCostModel cost_model(config.fleet, dim,
                                              global_workload_, config.network,
                                              cost_options);
@@ -225,9 +235,29 @@ core::EpochReport DistributedSolver::run_epoch() {
   const double wait_begin_us = tracing ? obs::trace_now_us() : 0.0;
   const std::size_t shared_bytes =
       static_cast<std::size_t>(global_workload_.shared_dim) * sizeof(float);
+  // Reduce-leg payload per delta: the dense-quantized wire size under
+  // compression (deterministic — what the placement cost model prices), the
+  // legacy dense fp32 image otherwise.  The broadcast leg is always dense.
+  const DeltaCodecConfig codec{config_.delta_threshold, 256};
+  const std::size_t delta_leg_bytes =
+      config_.compress_deltas
+          ? quantized_delta_wire_bytes(
+                static_cast<std::size_t>(global_workload_.shared_dim))
+          : shared_bytes;
   const double net_round =
-      config_.network.reduce_seconds(shared_bytes, config_.num_workers) +
+      config_.network.reduce_seconds(delta_leg_bytes, config_.num_workers) +
       config_.network.broadcast_seconds(shared_bytes, config_.num_workers);
+  // Bytes-on-wire accounting for every delta that reaches the master: the
+  // encoded image when compression is on, the raw fp64 vector otherwise —
+  // with the raw fp64 size always recorded as the baseline the precision
+  // ablation's ≥2x reduction gate divides by.
+  const auto charge_wire = [&](std::size_t wire) {
+    const std::size_t dense = dense_delta_wire_bytes(shared_.size());
+    delta_bytes_on_wire_ += wire;
+    delta_bytes_dense_ += dense;
+    obs::metrics().counter("cluster.delta.wire_bytes").add(wire);
+    obs::metrics().counter("cluster.delta.dense_bytes").add(dense);
+  };
   double healthy_max = 0.0;
   double runner_max = 0.0;
   for (std::size_t k = 0; k < num_workers; ++k) {
@@ -283,6 +313,15 @@ core::EpochReport DistributedSolver::run_epoch() {
           2, static_cast<int>(std::ceil(effective / last_deadline_seconds_)));
       pending.rounds_done = 1;
       pending.epoch_started = epoch_;
+      if (config_.compress_deltas) {
+        // The master will eventually receive the dequantized image; buffer
+        // exactly that so the late landing matches what the wire carries.
+        const CompressedDelta encoded = encode_delta(pending.dshared, codec);
+        pending.wire_bytes = encoded.wire_bytes();
+        decode_delta(encoded, pending.dshared);
+      } else {
+        pending.wire_bytes = dense_delta_wire_bytes(shared_.size());
+      }
       state.weights = worker.weights_start;
       worker.pending = std::move(pending);
       worker.status = WorkerStatus::kInFlight;
@@ -300,14 +339,27 @@ core::EpochReport DistributedSolver::run_epoch() {
     if (fault[k].kind == FaultKind::kCorruptDelta) {
       // The worker checksums its delta before the reduce; the master
       // recomputes on receipt.  Corruption in transit fails the check and
-      // the delta is discarded — never silently aggregated.
+      // the delta is discarded — never silently aggregated.  Under
+      // compression the flip lands in the quantized payload and the FNV
+      // stream over the encoded image must still catch it.
       std::vector<double> received(shared_.size());
       for (std::size_t i = 0; i < shared_.size(); ++i) {
         received[i] = static_cast<double>(state.shared[i]) - shared_[i];
       }
-      const std::uint64_t sent = delta_checksum(received);
-      corrupt_in_transit(received);
-      if (delta_checksum(received) != sent) {
+      bool verified = false;
+      if (config_.compress_deltas) {
+        CompressedDelta encoded = encode_delta(received, codec);
+        charge_wire(encoded.wire_bytes());
+        const std::uint64_t sent = encoded.checksum;
+        corrupt_compressed_in_transit(encoded);
+        verified = compressed_delta_checksum(encoded) == sent;
+      } else {
+        charge_wire(dense_delta_wire_bytes(received.size()));
+        const std::uint64_t sent = delta_checksum(received);
+        corrupt_in_transit(received);
+        verified = delta_checksum(received) == sent;
+      }
+      if (!verified) {
         state.weights = worker.weights_start;
         record_event(index, core::ClusterEventKind::kDeltaCorrupted);
         continue;
@@ -346,9 +398,27 @@ core::EpochReport DistributedSolver::run_epoch() {
                       static_cast<int>(k)),
         kMasterTrack);
     if (outcome[k] == Outcome::kFresh) {
-      // Δw^(t,k), summed straight into the master's accumulator (Reduce).
-      for (std::size_t i = 0; i < shared_.size(); ++i) {
-        dshared[i] += static_cast<double>(state.shared[i]) - shared_[i];
+      if (config_.compress_deltas) {
+        // Δw^(t,k) travels quantized: the master accumulates the decoded
+        // image, so the shared == A·weights invariant holds up to the fp16
+        // quantization error of the delta (DESIGN.md §16) — the exchange of
+        // the scalar γ terms below stays exact.
+        std::vector<double> received(shared_.size());
+        for (std::size_t i = 0; i < shared_.size(); ++i) {
+          received[i] = static_cast<double>(state.shared[i]) - shared_[i];
+        }
+        const CompressedDelta encoded = encode_delta(received, codec);
+        charge_wire(encoded.wire_bytes());
+        decode_delta(encoded, received);
+        for (std::size_t i = 0; i < shared_.size(); ++i) {
+          dshared[i] += received[i];
+        }
+      } else {
+        // Δw^(t,k), summed straight into the master's accumulator (Reduce).
+        charge_wire(dense_delta_wire_bytes(shared_.size()));
+        for (std::size_t i = 0; i < shared_.size(); ++i) {
+          dshared[i] += static_cast<double>(state.shared[i]) - shared_[i];
+        }
       }
       // Local scalar terms for adaptive aggregation (Algorithm 4):
       // computable on each worker because coordinate ownership is disjoint.
@@ -359,6 +429,7 @@ core::EpochReport DistributedSolver::run_epoch() {
       // linear in the delta, so incorporating it late is exact; only the
       // descent quality pays for the staleness (PASSCoDe).
       const auto& pending = *worker.pending;
+      charge_wire(pending.wire_bytes);
       for (std::size_t i = 0; i < shared_.size(); ++i) {
         dshared[i] += pending.dshared[i];
       }
@@ -524,7 +595,7 @@ core::EpochReport DistributedSolver::run_epoch() {
     // — by construction never more than the tree reduce, and exactly the
     // quantity the placement cost model prices.
     const double reduce_done = placement::overlapped_reduce_seconds(
-        fresh_arrivals, shared_bytes, config_.network);
+        fresh_arrivals, delta_leg_bytes, config_.network);
     const double exposed =
         std::max(0.0, reduce_done - breakdown.compute_solver);
     breakdown.network =

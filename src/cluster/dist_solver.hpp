@@ -101,6 +101,19 @@ struct DistConfig {
   /// arrival times the binomial tree is never beaten and the round time is
   /// unchanged — overlap pays off exactly when placements are imbalanced.
   bool comm_overlap = false;
+
+  // ---- Compressed delta exchange (DESIGN.md §16) ----
+  /// Quantize worker → master deltas on the reduce leg: fp16 payload with
+  /// one fp32 scale per 256-entry block, FNV-checksummed in encoded form
+  /// (cluster/delta_codec.hpp).  The broadcast leg stays the dense fp32
+  /// model — the workers must start each round from the master's exact
+  /// state.  Off by default; the uncompressed path is bit-identical to the
+  /// historical exchange.
+  bool compress_deltas = false;
+  /// Relative sparsification threshold forwarded to the codec: entries with
+  /// |Δ_i| <= threshold · max|Δ| are dropped from the payload.  0 keeps the
+  /// deterministic dense-quantized layout the placement cost model prices.
+  double delta_threshold = 0.0;
 };
 
 struct EpochBreakdown {
@@ -205,6 +218,17 @@ class DistributedSolver {
     return events_;
   }
 
+  /// Cumulative bytes of delta payload that crossed the wire (encoded form
+  /// when compression is on; the raw fp64 vector otherwise) and the raw
+  /// fp64 baseline for the same deltas — the ≥2x reduction the precision
+  /// ablation gates on is wire/dense.
+  std::uint64_t delta_bytes_on_wire() const noexcept {
+    return delta_bytes_on_wire_;
+  }
+  std::uint64_t delta_bytes_dense() const noexcept {
+    return delta_bytes_dense_;
+  }
+
   // ---- Checkpoint / resume ----
   /// Snapshot of the committed global state (assembled weights + shared
   /// vector + epoch counter), suitable for core::write_model_file.
@@ -234,6 +258,7 @@ class DistributedSolver {
     int rounds_needed = 1;
     int rounds_done = 0;
     int epoch_started = 0;  // the epoch whose flow/delta arrow this closes
+    std::size_t wire_bytes = 0;  // payload size, charged when it lands
   };
 
   struct Worker {
@@ -269,6 +294,8 @@ class DistributedSolver {
   int epoch_ = 0;
   int last_contributors_ = 0;
   double last_deadline_seconds_ = 0.0;
+  std::uint64_t delta_bytes_on_wire_ = 0;
+  std::uint64_t delta_bytes_dense_ = 0;
   std::vector<core::ClusterEvent> events_;
 };
 

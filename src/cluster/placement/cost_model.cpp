@@ -125,11 +125,14 @@ RoundPrediction PlacementCostModel::price(
         2.0 * pcie.transfer_seconds(shared_bytes, /*pinned=*/true);
   }
 
-  const double tree_reduce = network_.reduce_seconds(shared_bytes, workers);
+  const std::size_t delta_bytes =
+      options_.delta_wire_bytes > 0 ? options_.delta_wire_bytes
+                                    : shared_bytes;
+  const double tree_reduce = network_.reduce_seconds(delta_bytes, workers);
   const double broadcast = network_.broadcast_seconds(shared_bytes, workers);
   if (options_.comm_overlap && workers > 1) {
     const double reduce_done =
-        overlapped_reduce_seconds(compute, shared_bytes, network_);
+        overlapped_reduce_seconds(compute, delta_bytes, network_);
     const double exposed =
         std::max(0.0, reduce_done - prediction.compute_seconds);
     prediction.network_seconds = exposed + broadcast;

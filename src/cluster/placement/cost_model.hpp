@@ -57,6 +57,12 @@ struct CostOptions {
   bool comm_overlap = false;  // price the overlapped reduce
   /// Host-side vector arithmetic cost (SolverConfig::cpu_cost's figure).
   double seconds_per_vector_element = 1.0e-9;
+  /// Reduce-leg payload bytes per worker delta; 0 prices the legacy dense
+  /// fp32 shared vector.  The drivers set the deterministic dense-quantized
+  /// wire size (cluster/delta_codec.hpp) when compressed delta exchange is
+  /// on, so predictions track compressed rounds and the drift audit stays
+  /// exact.  The broadcast leg is always the dense model.
+  std::size_t delta_wire_bytes = 0;
 };
 
 class PlacementCostModel {

@@ -42,6 +42,11 @@ EpochReport AsyncScdSolver::run_epoch() {
       return problem_->coordinate_delta(formulation_, j, shared,
                                         state_.weights[j]);
     };
+    const auto compute_half = [this](sparse::Index j,
+                                     std::span<const linalg::Half> shared) {
+      return problem_->coordinate_delta(formulation_, j, shared,
+                                        state_.weights[j]);
+    };
     const auto vec_of = [this](sparse::Index j) {
       return problem_->coordinate_vector(formulation_, j);
     };
@@ -56,8 +61,8 @@ EpochReport AsyncScdSolver::run_epoch() {
               : replica_auto_interval(problem_->dataset().nnz(), coords,
                                       state_.shared.size(), threads_);
       return engine_.run_epoch_replicated(
-          order, compute, vec_of, apply_weight, state_.shared, replicas_,
-          interval, replica_damping(coords, threads_, interval));
+          order, compute, compute_half, vec_of, apply_weight, state_.shared,
+          replicas_, interval, replica_damping(coords, threads_, interval));
     }
     return engine_.run_epoch(order, compute, vec_of, apply_weight,
                              state_.shared);

@@ -10,28 +10,50 @@
 namespace tpa::core {
 namespace {
 
-constexpr std::size_t kFloatsPerLine =
-    util::kCacheLineBytes / sizeof(float);  // 16
-
+// Slots start on fresh 64-byte lines in both storage widths: 16 floats or
+// 32 halves per line.
+template <typename T>
 std::size_t padded_stride(std::size_t dim) {
-  return (dim + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+  constexpr std::size_t per_line = util::kCacheLineBytes / sizeof(T);
+  return (dim + per_line - 1) / per_line * per_line;
 }
 
 }  // namespace
 
-void ReplicaSet::configure(std::size_t dim, int count) {
+void ReplicaSet::configure(std::size_t dim, int count,
+                           linalg::SharedPrecision precision) {
   assert(count >= 1);
-  const std::size_t stride = padded_stride(dim);
-  if (dim == dim_ && count == count_) return;
+  if (dim == dim_ && count == count_ && precision == precision_) return;
   dim_ = dim;
-  stride_ = stride;
   count_ = count;
+  precision_ = precision;
+  const auto slots = static_cast<std::size_t>(count + 1);
   // Zero-fill the pad tail once; merges only ever touch [0, dim) per slot.
-  storage_.assign(stride * static_cast<std::size_t>(count + 1), 0.0F);
+  if (precision == linalg::SharedPrecision::kFp16) {
+    stride_ = padded_stride<linalg::Half>(dim);
+    half_storage_.assign(stride_ * slots, linalg::Half{});
+    storage_.assign(0, 0.0F);
+  } else {
+    stride_ = padded_stride<float>(dim);
+    storage_.assign(stride_ * slots, 0.0F);
+    half_storage_.assign(0, linalg::Half{});
+  }
 }
 
 void ReplicaSet::reset_from(std::span<const float> global) {
   assert(global.size() == dim_);
+  if (precision_ == linalg::SharedPrecision::kFp16) {
+    // Narrow once into the base slot, then replicate the half image — every
+    // slot starts from the identical RNE rounding of the global vector.
+    linalg::Half* slot = half_storage_.data();
+    linalg::narrow(global, {slot, dim_});
+    const linalg::Half* base_image = slot;
+    slot += stride_;
+    for (int r = 0; r < count_; ++r, slot += stride_) {
+      std::memcpy(slot, base_image, dim_ * sizeof(linalg::Half));
+    }
+    return;
+  }
   float* slot = storage_.data();
   for (int r = 0; r <= count_; ++r, slot += stride_) {
     std::memcpy(slot, global.data(), dim_ * sizeof(float));
@@ -43,6 +65,20 @@ void ReplicaSet::merge_into(std::span<float> global) {
   obs::TraceSpan span("replica/merge");
   static obs::Counter& merges = obs::metrics().counter("solver.merges");
   merges.add(1);
+  if (precision_ == linalg::SharedPrecision::kFp16) {
+    if (count_ == 1) {
+      // Single replica: widening its half image verbatim (exact) keeps the
+      // merge self-consistent with the fp32 special case below — the merged
+      // vector *is* the replica, at its storage precision.
+      linalg::widen(replica_half(0), global);
+    } else {
+      for (int r = 0; r < count_; ++r) {
+        linalg::add_diff(global, replica_half(r), base_half());
+      }
+    }
+    reset_from(global);
+    return;
+  }
   if (count_ == 1) {
     // One replica owns every coordinate: the merged vector *is* the replica.
     // Copying it verbatim (rather than folding w + (r − w), which is not

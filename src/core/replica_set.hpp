@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <span>
 
+#include "linalg/half.hpp"
 #include "util/aligned.hpp"
 
 namespace tpa::core {
@@ -37,28 +38,49 @@ class ReplicaSet {
   ReplicaSet() = default;
 
   /// Allocates `count` replicas of a `dim`-entry vector plus the base
-  /// snapshot slot.  Idempotent for an unchanged (dim, count); reallocation
-  /// otherwise.  Contents are unspecified until reset_from().
-  void configure(std::size_t dim, int count);
+  /// snapshot slot, stored at `precision` (fp32 by default; fp16 halves the
+  /// bytes every replica sweep touches, DESIGN.md §16).  Idempotent for an
+  /// unchanged (dim, count, precision); reallocation otherwise.  Contents
+  /// are unspecified until reset_from().
+  void configure(std::size_t dim, int count,
+                 linalg::SharedPrecision precision =
+                     linalg::SharedPrecision::kFp32);
 
   int count() const noexcept { return count_; }
   std::size_t dim() const noexcept { return dim_; }
-  /// Floats between consecutive slots — dim rounded up to a full cache line.
+  /// Elements between consecutive slots — dim rounded up to a full cache
+  /// line of the storage type.
   std::size_t stride() const noexcept { return stride_; }
+  linalg::SharedPrecision precision() const noexcept { return precision_; }
 
-  /// Worker r's private copy of the shared vector.
+  /// Worker r's private copy of the shared vector (fp32 storage only).
   std::span<float> replica(int r) noexcept {
     return {storage_.data() + stride_ * static_cast<std::size_t>(r + 1), dim_};
   }
   std::span<const float> replica(int r) const noexcept {
     return {storage_.data() + stride_ * static_cast<std::size_t>(r + 1), dim_};
   }
-  /// Snapshot of the global vector at the last merge/reseed.
+  /// Snapshot of the global vector at the last merge/reseed (fp32 storage).
   std::span<const float> base() const noexcept {
     return {storage_.data(), dim_};
   }
 
+  /// fp16-storage accessors (valid only after configure(..., kFp16)).
+  std::span<linalg::Half> replica_half(int r) noexcept {
+    return {half_storage_.data() + stride_ * static_cast<std::size_t>(r + 1),
+            dim_};
+  }
+  std::span<const linalg::Half> replica_half(int r) const noexcept {
+    return {half_storage_.data() + stride_ * static_cast<std::size_t>(r + 1),
+            dim_};
+  }
+  std::span<const linalg::Half> base_half() const noexcept {
+    return {half_storage_.data(), dim_};
+  }
+
   /// Reseeds base and every replica from `global` (global.size() == dim).
+  /// Under fp16 storage the global is narrowed once (RNE) and the same
+  /// half image is copied into every slot.
   void reset_from(std::span<const float> global);
 
   /// Folds every replica's delta against base into `global` in replica
@@ -68,9 +90,11 @@ class ReplicaSet {
 
  private:
   util::AlignedVector<float> storage_;  // [base | replica 0 | replica 1 | ...]
+  util::AlignedVector<linalg::Half> half_storage_;  // same layout, fp16 mode
   std::size_t dim_ = 0;
   std::size_t stride_ = 0;
   int count_ = 0;
+  linalg::SharedPrecision precision_ = linalg::SharedPrecision::kFp32;
 };
 
 }  // namespace tpa::core

@@ -109,6 +109,25 @@ double RidgeProblem::coordinate_delta(Formulation f, Index j,
          (lambda_ * n + norm_sq);
 }
 
+double RidgeProblem::coordinate_delta(Formulation f, Index j,
+                                      std::span<const linalg::Half> shared,
+                                      double weight_j) const {
+  // Same closed-form steps as the float overload; the half kernels widen
+  // each gathered element exactly, so the formulas are untouched.
+  const auto n = static_cast<double>(effective_examples());
+  const auto vec = coordinate_vector(f, j);
+  const double norm_sq = coordinate_squared_norm(f, j);
+  if (f == Formulation::kPrimal) {
+    const double residual_dot =
+        linalg::sparse_residual_dot(vec, dataset_->labels(), shared);
+    return (residual_dot - n * lambda_ * weight_j) / (norm_sq + n * lambda_);
+  }
+  const double wbar_dot = linalg::sparse_dot(vec, shared);
+  const double y_n = dataset_->labels()[j];
+  return (lambda_ * y_n - wbar_dot - lambda_ * n * weight_j) /
+         (lambda_ * n + norm_sq);
+}
+
 double RidgeProblem::primal_objective(std::span<const float> beta,
                                       std::span<const float> w,
                                       util::ThreadPool* pool) const {

@@ -14,6 +14,7 @@
 
 #include "core/formulation.hpp"
 #include "data/dataset.hpp"
+#include "linalg/half.hpp"
 
 namespace tpa::util {
 class ThreadPool;
@@ -70,6 +71,14 @@ class RidgeProblem {
   /// shared vector and the coordinate's current weight.
   double coordinate_delta(Formulation f, Index j,
                           std::span<const float> shared,
+                          double weight_j) const;
+
+  /// Same closed-form step against an fp16-stored shared vector (DESIGN.md
+  /// §16): the gather widens each element to fp32 exactly, so the only
+  /// difference from the float overload is the storage rounding already
+  /// present in `shared`.
+  double coordinate_delta(Formulation f, Index j,
+                          std::span<const linalg::Half> shared,
                           double weight_j) const;
 
   /// P(β) with w = Aβ supplied by the caller.  A non-null `pool` evaluates

@@ -138,4 +138,53 @@ AsyncEngineStats AsyncEngine::run_epoch_replicated(
   return stats;
 }
 
+AsyncEngineStats AsyncEngine::run_epoch_replicated(
+    std::span<const std::uint32_t> order, const ComputeFn& compute,
+    const ComputeHalfFn& compute_half, const VectorFn& vec_of,
+    const WeightFn& apply_weight, std::span<float> shared,
+    ReplicaSet& replicas, int merge_every, double damping) {
+  if (linalg::shared_precision() != linalg::SharedPrecision::kFp16 ||
+      !compute_half) {
+    return run_epoch_replicated(order, compute, vec_of, apply_weight, shared,
+                                replicas, merge_every, damping);
+  }
+  if (merge_every <= 0) {
+    throw std::invalid_argument(
+        "AsyncEngine::run_epoch_replicated: merge_every must be positive");
+  }
+  if (!(damping > 0.0) || damping > 1.0) {
+    throw std::invalid_argument(
+        "AsyncEngine::run_epoch_replicated: damping must be in (0, 1]");
+  }
+  // The fp16 pipeline is the fp32 one with half-stored replicas: the lane's
+  // gather widens exactly, the scatter narrows with RNE, and the merge folds
+  // half deltas in double — storage precision is the only difference.
+  AsyncEngineStats stats;
+  replicas.configure(shared.size(), static_cast<int>(window_),
+                     linalg::SharedPrecision::kFp16);
+  replicas.reset_from(shared);
+
+  const std::uint64_t interval =
+      static_cast<std::uint64_t>(window_) *
+      static_cast<std::uint64_t>(merge_every);
+  std::uint64_t since_merge = 0;
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    const int lane = static_cast<int>(p % window_);
+    auto rep = replicas.replica_half(lane);
+    const auto j = order[p];
+    const double step = damping * compute_half(j, rep);
+    apply_weight(j, step);
+    const auto vec = vec_of(j);
+    linalg::sparse_axpy(step, vec, rep);
+    ++stats.updates;
+    stats.committed_entries += vec.nnz();
+    if (++since_merge >= interval) {
+      replicas.merge_into(shared);
+      since_merge = 0;
+    }
+  }
+  if (since_merge > 0) replicas.merge_into(shared);
+  return stats;
+}
+
 }  // namespace tpa::core

@@ -63,6 +63,10 @@ class AsyncEngine {
   /// shared vector.
   using ComputeFn =
       std::function<double(sparse::Index j, std::span<const float> shared)>;
+  /// Same, against an fp16-stored replica (the reduced-precision pipeline;
+  /// DESIGN.md §16).
+  using ComputeHalfFn = std::function<double(
+      sparse::Index j, std::span<const linalg::Half> shared)>;
   /// Returns coordinate j's sparse vector (the scatter pattern of its
   /// shared-vector update).
   using VectorFn = std::function<sparse::SparseVectorView(sparse::Index j)>;
@@ -97,6 +101,18 @@ class AsyncEngine {
                                         std::span<float> shared,
                                         ReplicaSet& replicas, int merge_every,
                                         double damping = 1.0);
+
+  /// Precision-aware variant: when linalg::shared_precision() is kFp16 the
+  /// replicas are stored as binary16 and each lane computes through
+  /// `compute_half` (gathers widen exactly, scatters narrow with RNE),
+  /// halving the bytes the pipeline touches per update; otherwise this is
+  /// exactly the fp32 overload above.  `compute_half` must be valid — pass
+  /// the same coordinate formula over a Half span.
+  AsyncEngineStats run_epoch_replicated(
+      std::span<const std::uint32_t> order, const ComputeFn& compute,
+      const ComputeHalfFn& compute_half, const VectorFn& vec_of,
+      const WeightFn& apply_weight, std::span<float> shared,
+      ReplicaSet& replicas, int merge_every, double damping = 1.0);
 
  private:
   struct PendingUpdate {

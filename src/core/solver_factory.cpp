@@ -47,15 +47,15 @@ std::unique_ptr<Solver> make_solver(const RidgeProblem& problem,
       TpaScdOptions options;
       options.device = gpusim::DeviceSpec::quadro_m4000();
       options.charge_paper_scale_memory = config.charge_paper_scale_memory;
-      return std::make_unique<TpaScdSolver>(problem, config.formulation,
-                                            config.seed, options);
+      return with_merge(std::make_unique<TpaScdSolver>(
+          problem, config.formulation, config.seed, options));
     }
     case SolverKind::kTpaTitanX: {
       TpaScdOptions options;
       options.device = gpusim::DeviceSpec::titan_x();
       options.charge_paper_scale_memory = config.charge_paper_scale_memory;
-      return std::make_unique<TpaScdSolver>(problem, config.formulation,
-                                            config.seed, options);
+      return with_merge(std::make_unique<TpaScdSolver>(
+          problem, config.formulation, config.seed, options));
     }
   }
   throw std::invalid_argument("make_solver: unknown solver kind");

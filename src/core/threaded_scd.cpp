@@ -29,6 +29,22 @@ void replica_pass(const RidgeProblem& problem, Formulation f,
   }
 }
 
+// fp16-storage variant: identical structure against a half-stored replica —
+// gathers widen exactly, scatters narrow with RNE (DESIGN.md §16).
+void replica_pass(const RidgeProblem& problem, Formulation f,
+                  std::span<const std::uint32_t> coords,
+                  std::span<float> weights, std::span<linalg::Half> replica,
+                  double damping) {
+  for (const auto j : coords) {
+    const double step =
+        damping * problem.coordinate_delta(
+                      f, j, std::span<const linalg::Half>(replica),
+                      weights[j]);
+    weights[j] = static_cast<float>(weights[j] + step);
+    linalg::sparse_axpy(step, problem.coordinate_vector(f, j), replica);
+  }
+}
+
 }  // namespace
 
 void replicated_sweep(const RidgeProblem& problem, Formulation f,
@@ -36,7 +52,11 @@ void replicated_sweep(const RidgeProblem& problem, Formulation f,
                       std::span<float> weights, std::span<float> shared,
                       ReplicaSet& replicas, util::ThreadPool& pool,
                       int threads, int merge_every) {
-  replicas.configure(shared.size(), threads);
+  // Replica storage follows the process-wide precision mode: fp16 halves
+  // the bytes every round touches while weights, merges and objectives stay
+  // in full precision.
+  const linalg::SharedPrecision precision = linalg::shared_precision();
+  replicas.configure(shared.size(), threads, precision);
   // Reseed every call: the caller may overwrite `shared` between sweeps.
   replicas.reset_from(shared);
 
@@ -75,8 +95,13 @@ void replicated_sweep(const RidgeProblem& problem, Formulation f,
       if (begin >= end) return;
       obs::TraceSpan chunk("threaded_scd/round", obs::kCurrentThread,
                            static_cast<std::int64_t>(end - begin));
-      replica_pass(problem, f, order.subspan(begin, end - begin), weights,
-                   replicas.replica(static_cast<int>(t)), damping);
+      if (precision == linalg::SharedPrecision::kFp16) {
+        replica_pass(problem, f, order.subspan(begin, end - begin), weights,
+                     replicas.replica_half(static_cast<int>(t)), damping);
+      } else {
+        replica_pass(problem, f, order.subspan(begin, end - begin), weights,
+                     replicas.replica(static_cast<int>(t)), damping);
+      }
     };
     if (pooled) {
       pool.parallel_for(tcount, run_round, /*grain=*/1);

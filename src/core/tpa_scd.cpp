@@ -1,6 +1,7 @@
 #include "core/tpa_scd.hpp"
 
 #include "core/cost_model.hpp"
+#include "linalg/half.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -89,6 +90,32 @@ EpochReport TpaScdSolver::run_epoch() {
                 lambda * n * state_.weights[j]) /
                (lambda * n + norm_sq);
       };
+  // The same block body against an fp16-stored replica: gathers widen each
+  // element exactly, so only the storage rounding differs (DESIGN.md §16).
+  const AsyncEngine::ComputeHalfFn compute_half =
+      [&](sparse::Index j, std::span<const linalg::Half> shared) {
+        const auto vec = problem_->coordinate_vector(formulation_, j);
+        const double norm_sq =
+            problem_->coordinate_squared_norm(formulation_, j);
+        if (formulation_ == Formulation::kPrimal) {
+          const double dot = block_.strided_reduce(
+              vec.nnz(), [&](std::size_t k) {
+                const auto i = vec.indices[k];
+                return (labels[i] - linalg::half_to_float(shared[i])) *
+                       vec.values[k];
+              });
+          return (dot - n * lambda * state_.weights[j]) /
+                 (norm_sq + n * lambda);
+        }
+        const double dot = block_.strided_reduce(
+            vec.nnz(), [&](std::size_t k) {
+              return linalg::half_to_float(shared[vec.indices[k]]) *
+                     vec.values[k];
+            });
+        return (lambda * labels[j] - dot -
+                lambda * n * state_.weights[j]) /
+               (lambda * n + norm_sq);
+      };
   const AsyncEngine::VectorFn vec_of = [this](sparse::Index j) {
     return problem_->coordinate_vector(formulation_, j);
   };
@@ -105,13 +132,23 @@ EpochReport TpaScdSolver::run_epoch() {
     // CPU paths.
     const auto coords = problem_->num_coordinates(formulation_);
     engine_.run_epoch_replicated(
-        order, compute, vec_of, apply_weight, state_.shared, replicas_,
-        options_.merge_every,
+        order, compute, compute_half, vec_of, apply_weight, state_.shared,
+        replicas_, options_.merge_every,
         replica_damping(coords, static_cast<int>(engine_.window()),
                         options_.merge_every));
   } else {
     engine_.run_epoch(order, compute, vec_of, apply_weight, state_.shared);
   }
+
+  // The bandwidth model prices the shared-vector traffic at the storage
+  // width the epoch actually ran with: the replicated pipeline honours the
+  // process-wide precision mode; the atomic-commit path is always fp32
+  // (float atomics have no 16-bit form).
+  workload_.shared_value_bytes =
+      options_.merge_every > 0
+          ? static_cast<std::uint32_t>(
+                linalg::shared_value_bytes(linalg::shared_precision()))
+          : 4U;
 
   EpochReport report;
   report.coordinate_updates = order.size();

@@ -13,9 +13,10 @@ std::uint64_t GpuTimingModel::matrix_bytes(const EpochWorkload& w) const
 
 std::uint64_t GpuTimingModel::shared_vector_bytes(const EpochWorkload& w)
     const noexcept {
-  // Per entry: a 4 B gather in the read pass and an 8 B atomic
-  // read-modify-write in the write pass.
-  return w.nnz * 12;
+  // Per entry: one element gather in the read pass and a read+write RMW in
+  // the write pass — three element-width transfers.  4 B elements give the
+  // historical 12 B/entry; fp16 storage halves it to 6.
+  return w.nnz * 3 * w.shared_value_bytes;
 }
 
 std::uint64_t GpuTimingModel::epoch_bytes(const EpochWorkload& w) const
@@ -37,7 +38,7 @@ double GpuTimingModel::epoch_seconds(const EpochWorkload& w) const noexcept {
   // fits its 2 MB L2, w̄ = 2.7 MB does not) while the Titan X's 3 MB L2
   // holds both — the reversal visible between the paper's Figs. 1b and 2b.
   const bool shared_fits_l2 =
-      w.shared_dim * sizeof(float) <= spec_.l2_capacity_bytes;
+      w.shared_dim * w.shared_value_bytes <= spec_.l2_capacity_bytes;
   const double shared_bw =
       shared_fits_l2 ? spec_.l2_bandwidth_gbps * 1e9 : dram_bw;
   const double mem_time =

@@ -24,6 +24,10 @@ struct EpochWorkload {
   std::uint64_t nnz = 0;          // stored entries visited this epoch
   std::uint64_t num_coordinates = 0;  // thread blocks launched
   std::uint64_t shared_dim = 0;   // length of the shared vector
+  // Stored bytes per shared-vector element: 4 (fp32, historical default) or
+  // 2 (fp16 storage mode, DESIGN.md §16).  Halves the gather/RMW traffic
+  // and doubles the dimension that still fits in L2.
+  std::uint32_t shared_value_bytes = 4;
 };
 
 class GpuTimingModel {

@@ -1,0 +1,138 @@
+#include "linalg/half.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "linalg/kernels.hpp"
+#include "obs/trace.hpp"
+
+// Hardware half conversions when this TU is built for an F16C host (the
+// kernels TU compile options in CMakeLists.txt apply here too).  VCVTPS2PH
+// with the RNE immediate and VCVTPH2PS implement exactly the software
+// semantics in half.hpp, so the dispatch below changes throughput only,
+// never bits — test_half cross-checks the two paths on every build.
+#if defined(__F16C__)
+#include <immintrin.h>
+#define TPA_HALF_F16C 1
+#else
+#define TPA_HALF_F16C 0
+#endif
+
+namespace tpa::linalg {
+namespace {
+
+SharedPrecision precision_from_env() {
+  const char* env = std::getenv("TPA_PRECISION");
+  if (env != nullptr &&
+      (std::strcmp(env, "fp16") == 0 || std::strcmp(env, "half") == 0)) {
+    return SharedPrecision::kFp16;
+  }
+  return SharedPrecision::kFp32;
+}
+
+std::atomic<SharedPrecision>& precision_slot() noexcept {
+  static std::atomic<SharedPrecision> precision = [] {
+    const SharedPrecision initial = precision_from_env();
+    obs::set_trace_metadata("shared_precision",
+                            shared_precision_name(initial));
+    return std::atomic<SharedPrecision>{initial};
+  }();
+  return precision;
+}
+
+inline bool use_scalar() noexcept {
+  return kernel_backend() == KernelBackend::kScalar;
+}
+
+void widen_scalar(std::span<const Half> src, std::span<float> out) {
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = half_to_float(src[i]);
+}
+
+void narrow_scalar(std::span<const float> src, std::span<Half> out) {
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = float_to_half(src[i]);
+}
+
+#if TPA_HALF_F16C
+
+void widen_f16c(std::span<const Half> src, std::span<float> out) {
+  const std::size_t n = src.size();
+  const auto* in = reinterpret_cast<const std::uint16_t*>(src.data());
+  std::size_t i = 0;
+  for (const std::size_t n8 = n & ~std::size_t{7}; i < n8; i += 8) {
+    const __m128i packed =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    _mm256_storeu_ps(out.data() + i, _mm256_cvtph_ps(packed));
+  }
+  for (; i < n; ++i) out[i] = half_to_float(src[i]);
+}
+
+void narrow_f16c(std::span<const float> src, std::span<Half> out) {
+  const std::size_t n = src.size();
+  auto* dst = reinterpret_cast<std::uint16_t*>(out.data());
+  std::size_t i = 0;
+  for (const std::size_t n8 = n & ~std::size_t{7}; i < n8; i += 8) {
+    const __m256 values = _mm256_loadu_ps(src.data() + i);
+    const __m128i packed =
+        _mm256_cvtps_ph(values, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), packed);
+  }
+  for (; i < n; ++i) out[i] = float_to_half(src[i]);
+}
+
+#endif  // TPA_HALF_F16C
+
+}  // namespace
+
+float half_to_float(Half h) noexcept {
+  return std::bit_cast<float>(half_bits_to_float_bits(h.bits));
+}
+
+Half float_to_half(float x) noexcept {
+  return Half{float_bits_to_half_bits(std::bit_cast<std::uint32_t>(x))};
+}
+
+void widen(std::span<const Half> src, std::span<float> out) {
+  assert(out.size() >= src.size());
+#if TPA_HALF_F16C
+  if (!use_scalar()) {
+    widen_f16c(src, out);
+    return;
+  }
+#endif
+  widen_scalar(src, out);
+}
+
+void narrow(std::span<const float> src, std::span<Half> out) {
+  assert(out.size() >= src.size());
+#if TPA_HALF_F16C
+  if (!use_scalar()) {
+    narrow_f16c(src, out);
+    return;
+  }
+#endif
+  narrow_scalar(src, out);
+}
+
+bool half_hardware_build() noexcept { return TPA_HALF_F16C != 0; }
+
+SharedPrecision shared_precision() noexcept {
+  return precision_slot().load(std::memory_order_relaxed);
+}
+
+void set_shared_precision(SharedPrecision precision) noexcept {
+  precision_slot().store(precision, std::memory_order_relaxed);
+  obs::set_trace_metadata("shared_precision",
+                          shared_precision_name(precision));
+  obs::trace_instant(precision == SharedPrecision::kFp16
+                         ? "shared_precision:fp16"
+                         : "shared_precision:fp32");
+}
+
+const char* shared_precision_name(SharedPrecision precision) noexcept {
+  return precision == SharedPrecision::kFp16 ? "fp16" : "fp32";
+}
+
+}  // namespace tpa::linalg

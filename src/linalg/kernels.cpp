@@ -158,6 +158,51 @@ void add_diff(std::span<float> w, std::span<const float> replica,
   }
 }
 
+double sparse_dot(const SparseVectorView& a, std::span<const Half> dense) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    acc += static_cast<double>(a.values[k]) *
+           static_cast<double>(half_to_float(dense[a.indices[k]]));
+  }
+  return acc;
+}
+
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const Half> dense) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    const auto i = a.indices[k];
+    acc += static_cast<double>(a.values[k]) *
+           (static_cast<double>(target[i]) -
+            static_cast<double>(half_to_float(dense[i])));
+  }
+  return acc;
+}
+
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<Half> dense) {
+  // Read-widen, add in double, narrow-store with RNE.  Like the float
+  // scatter this must stay an in-order RMW per element: padded views repeat
+  // their last index, so batching would scatter a stale read over the real
+  // update.
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    const auto i = a.indices[k];
+    dense[i] = float_to_half(static_cast<float>(
+        static_cast<double>(half_to_float(dense[i])) + alpha * a.values[k]));
+  }
+}
+
+void add_diff(std::span<float> w, std::span<const Half> replica,
+              std::span<const Half> base) {
+  assert(replica.size() >= w.size() && base.size() >= w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(
+        w[i] + (static_cast<double>(half_to_float(replica[i])) -
+                static_cast<double>(half_to_float(base[i]))));
+  }
+}
+
 }  // namespace scalar
 
 // ---------------------------------------------------------------------------
@@ -404,6 +449,121 @@ void add_diff(std::span<float> w, std::span<const float> replica,
   for (; i < n; ++i) {
     out[i] = static_cast<float>(out[i] + (static_cast<double>(r[i]) -
                                           static_cast<double>(b[i])));
+  }
+}
+
+double sparse_dot(const SparseVectorView& a, std::span<const Half> dense) {
+  // No 16-bit gather exists, so the half path stays a multi-accumulator
+  // conversion loop; widening is exact, so each term equals the scalar
+  // reference's and only the combine order differs.
+  const std::size_t n = a.nnz();
+  const sparse::Index* idx = a.indices.data();
+  const sparse::Value* val = a.values.data();
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t k = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; k < n4; k += 4) {
+    a0 += static_cast<double>(val[k]) *
+          static_cast<double>(half_to_float(dense[idx[k]]));
+    a1 += static_cast<double>(val[k + 1]) *
+          static_cast<double>(half_to_float(dense[idx[k + 1]]));
+    a2 += static_cast<double>(val[k + 2]) *
+          static_cast<double>(half_to_float(dense[idx[k + 2]]));
+    a3 += static_cast<double>(val[k + 3]) *
+          static_cast<double>(half_to_float(dense[idx[k + 3]]));
+  }
+  for (; k < n; ++k) {
+    a0 += static_cast<double>(val[k]) *
+          static_cast<double>(half_to_float(dense[idx[k]]));
+  }
+  return (a0 + a1) + (a2 + a3);
+}
+
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const Half> dense) {
+  const std::size_t n = a.nnz();
+  const sparse::Index* idx = a.indices.data();
+  const sparse::Value* val = a.values.data();
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t k = 0;
+  for (const std::size_t n4 = n & ~std::size_t{3}; k < n4; k += 4) {
+    const auto i0 = idx[k], i1 = idx[k + 1], i2 = idx[k + 2], i3 = idx[k + 3];
+    a0 += static_cast<double>(val[k]) *
+          (static_cast<double>(target[i0]) -
+           static_cast<double>(half_to_float(dense[i0])));
+    a1 += static_cast<double>(val[k + 1]) *
+          (static_cast<double>(target[i1]) -
+           static_cast<double>(half_to_float(dense[i1])));
+    a2 += static_cast<double>(val[k + 2]) *
+          (static_cast<double>(target[i2]) -
+           static_cast<double>(half_to_float(dense[i2])));
+    a3 += static_cast<double>(val[k + 3]) *
+          (static_cast<double>(target[i3]) -
+           static_cast<double>(half_to_float(dense[i3])));
+  }
+  for (; k < n; ++k) {
+    const auto i = idx[k];
+    a0 += static_cast<double>(val[k]) *
+          (static_cast<double>(target[i]) -
+           static_cast<double>(half_to_float(dense[i])));
+  }
+  return (a0 + a1) + (a2 + a3);
+}
+
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<Half> dense) {
+  // In-order RMW per element for the same aliasing reason as the float
+  // scatter: padded duplicate indices make any batching illegal.  The
+  // expression matches the scalar half reference exactly.
+  const std::size_t n = a.nnz();
+  const sparse::Index* idx = a.indices.data();
+  const sparse::Value* val = a.values.data();
+  Half* out = dense.data();
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto i = idx[k];
+    out[i] = float_to_half(static_cast<float>(
+        static_cast<double>(half_to_float(out[i])) + alpha * val[k]));
+  }
+}
+
+void add_diff(std::span<float> w, std::span<const Half> replica,
+              std::span<const Half> base) {
+  assert(replica.size() >= w.size() && base.size() >= w.size());
+  const std::size_t n = w.size();
+  float* out = w.data();
+  const Half* r = replica.data();
+  const Half* b = base.data();
+  std::size_t i = 0;
+#if TPA_KERNELS_GATHER && defined(__F16C__)
+  // Eight lanes per step: VCVTPH2PS widens both operands exactly, the
+  // subtract/add chain runs in packed double, and the store narrows to
+  // float — the same per-element expression as the scalar half reference,
+  // evaluated in SIMD lanes.
+  for (const std::size_t n8 = n & ~std::size_t{7}; i < n8; i += 8) {
+    const __m256 rf = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(r + i)));
+    const __m256 bf = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    const __m256 wf = _mm256_loadu_ps(out + i);
+    const __m256d diff_lo =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(rf)),
+                      _mm256_cvtps_pd(_mm256_castps256_ps128(bf)));
+    const __m256d diff_hi =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(rf, 1)),
+                      _mm256_cvtps_pd(_mm256_extractf128_ps(bf, 1)));
+    const __m256d sum_lo = _mm256_add_pd(
+        _mm256_cvtps_pd(_mm256_castps256_ps128(wf)), diff_lo);
+    const __m256d sum_hi = _mm256_add_pd(
+        _mm256_cvtps_pd(_mm256_extractf128_ps(wf, 1)), diff_hi);
+    _mm256_storeu_ps(
+        out + i,
+        _mm256_set_m128(_mm256_cvtpd_ps(sum_hi), _mm256_cvtpd_ps(sum_lo)));
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = static_cast<float>(
+        out[i] + (static_cast<double>(half_to_float(r[i])) -
+                  static_cast<double>(half_to_float(b[i]))));
   }
 }
 

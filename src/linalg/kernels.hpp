@@ -25,6 +25,7 @@
 
 #include <span>
 
+#include "linalg/half.hpp"
 #include "sparse/csr.hpp"
 
 namespace tpa::linalg {
@@ -67,6 +68,18 @@ void sparse_axpy(double alpha, const SparseVectorView& a,
 void add_diff(std::span<float> w, std::span<const float> replica,
               std::span<const float> base);
 
+// fp16-storage variants: every element is widened to fp32 exactly before
+// arithmetic, accumulation stays fp64, and stores narrow with RNE — only
+// the stored representation differs from the float kernels above.
+double sparse_dot(const SparseVectorView& a, std::span<const Half> dense);
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const Half> dense);
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<Half> dense);
+void add_diff(std::span<float> w, std::span<const Half> replica,
+              std::span<const Half> base);
+
 }  // namespace scalar
 
 namespace vec {
@@ -83,6 +96,18 @@ void sparse_axpy(double alpha, const SparseVectorView& a,
                  std::span<float> dense);
 void add_diff(std::span<float> w, std::span<const float> replica,
               std::span<const float> base);
+
+// fp16-storage variants; element-wise expressions match the scalar
+// reference exactly (half<->float conversion is exact widening / RNE
+// narrowing in both backends), only reductions reassociate.
+double sparse_dot(const SparseVectorView& a, std::span<const Half> dense);
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const Half> dense);
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<Half> dense);
+void add_diff(std::span<float> w, std::span<const Half> replica,
+              std::span<const Half> base);
 
 }  // namespace vec
 

@@ -28,11 +28,11 @@ double squared_norm(std::span<const float> x) { return dot(x, x); }
 double squared_norm(std::span<const double> x) { return dot(x, x); }
 
 void axpy(double alpha, std::span<const float> x, std::span<float> y) {
-  if (use_scalar()) {
-    scalar::axpy(alpha, x, y);
-  } else {
-    vec::axpy(alpha, x, y);
-  }
+  // Always the scalar reference: the float axpy is a pure streaming RMW the
+  // compiler already vectorises from the plain loop, and the unrolled body
+  // measured no faster (BENCH_kernels.json: 1.00x).  Both bodies apply the
+  // identical per-element expression, so this is a perf choice only.
+  scalar::axpy(alpha, x, y);
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
@@ -61,6 +61,39 @@ double sparse_residual_dot(const SparseVectorView& a,
 
 void sparse_axpy(double alpha, const SparseVectorView& a,
                  std::span<float> dense) {
+  // Always the scalar reference: the scatter is an in-order RMW in both
+  // backends (no batching is legal under padded duplicate indices), so the
+  // unrolled variant only amortises loop control and measured within noise
+  // of scalar (BENCH_kernels.json: ≤1.03x).  Same per-element expression
+  // either way — a perf choice, not a numerics one.
+  scalar::sparse_axpy(alpha, a, dense);
+}
+
+void add_diff(std::span<float> w, std::span<const float> replica,
+              std::span<const float> base) {
+  if (use_scalar()) {
+    scalar::add_diff(w, replica, base);
+  } else {
+    vec::add_diff(w, replica, base);
+  }
+}
+
+double sparse_dot(const SparseVectorView& a, std::span<const Half> dense) {
+  return use_scalar() ? scalar::sparse_dot(a, dense)
+                      : vec::sparse_dot(a, dense);
+}
+
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const Half> dense) {
+  return use_scalar() ? scalar::sparse_residual_dot(a, target, dense)
+                      : vec::sparse_residual_dot(a, target, dense);
+}
+
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<Half> dense) {
+  // In-order RMW in both backends (same reasoning as the float scatter);
+  // dispatch kept so a backend switch stays observable in one place.
   if (use_scalar()) {
     scalar::sparse_axpy(alpha, a, dense);
   } else {
@@ -68,8 +101,8 @@ void sparse_axpy(double alpha, const SparseVectorView& a,
   }
 }
 
-void add_diff(std::span<float> w, std::span<const float> replica,
-              std::span<const float> base) {
+void add_diff(std::span<float> w, std::span<const Half> replica,
+              std::span<const Half> base) {
   if (use_scalar()) {
     scalar::add_diff(w, replica, base);
   } else {

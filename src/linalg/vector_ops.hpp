@@ -60,6 +60,18 @@ void sparse_axpy(double alpha, const SparseVectorView& a,
 void add_diff(std::span<float> w, std::span<const float> replica,
               std::span<const float> base);
 
+/// fp16-storage overloads of the shared-vector kernels (DESIGN.md §16):
+/// elements widen to fp32 exactly before arithmetic, accumulation stays
+/// fp64, and stores narrow with round-to-nearest-even.
+double sparse_dot(const SparseVectorView& a, std::span<const Half> dense);
+double sparse_residual_dot(const SparseVectorView& a,
+                           std::span<const float> target,
+                           std::span<const Half> dense);
+void sparse_axpy(double alpha, const SparseVectorView& a,
+                 std::span<Half> dense);
+void add_diff(std::span<float> w, std::span<const Half> replica,
+              std::span<const Half> base);
+
 /// max_i |x_i - y_i|.
 double max_abs_diff(std::span<const float> x, std::span<const float> y);
 

@@ -97,6 +97,35 @@ TEST(AsyncSolver, ConvergesWithoutFaults) {
   EXPECT_DOUBLE_EQ(solver.last_gamma(), 0.25);
 }
 
+TEST(AsyncSolver, CompressedPushesConvergeAndHalveWireBytes) {
+  auto config = base_config(Formulation::kDual, 4);
+  config.compress_deltas = true;
+  AsyncSolver solver(corpus(), config);
+  solver.run_epoch();
+  const double first_gap = solver.duality_gap();
+  run_rounds(solver, 11);
+  EXPECT_LT(solver.duality_gap(), 0.25 * first_gap);
+  // Push leg is quantized; the metric baselines against the raw fp64 image.
+  EXPECT_GT(solver.delta_bytes_on_wire(), 0u);
+  EXPECT_GE(solver.delta_bytes_dense(), 2 * solver.delta_bytes_on_wire());
+}
+
+TEST(AsyncFaults, CorruptCompressedPushIsRejectedByTheChecksum) {
+  auto config = base_config(Formulation::kDual, 4);
+  config.compress_deltas = true;
+  FaultEvent corrupt;
+  corrupt.epoch = 2;
+  corrupt.worker = 1;
+  corrupt.kind = FaultKind::kCorruptDelta;
+  config.faults.scripted.push_back(corrupt);
+  AsyncSolver solver(corpus(), config);
+  run_rounds(solver, 4);
+  EXPECT_EQ(count(solver.events(), ClusterEventKind::kDeltaCorrupted), 1u);
+  // The corrupted push is discarded whole, so the invariant only carries
+  // the fp16 quantization error of the applied deltas.
+  EXPECT_LT(invariant_error(solver, Formulation::kDual), 5e-3);
+}
+
 TEST(AsyncSolver, SteadyStateStalenessStaysInsideAutoWindow) {
   auto config = base_config(Formulation::kDual, 4);
   AsyncSolver solver(corpus(), config);

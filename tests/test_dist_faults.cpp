@@ -172,6 +172,32 @@ TEST(DistFaults, DroppedAndCorruptedDeltasAreExcludedNotAggregated) {
   EXPECT_EQ(solver.last_contributors(), 4);
 }
 
+TEST(DistFaults, CorruptCompressedDeltaIsCaughtByTheEncodedChecksum) {
+  // With compression on, the bit flip lands in the quantized payload; the
+  // checksum over the encoded image must still reject the delta and the
+  // epoch must degrade to the survivors, exactly like the raw-fp64 path.
+  auto config = base_config(Formulation::kDual, 4);
+  config.compress_deltas = true;
+  FaultEvent corrupt;
+  corrupt.epoch = 2;
+  corrupt.worker = 1;
+  corrupt.kind = FaultKind::kCorruptDelta;
+  config.faults.scripted.push_back(corrupt);
+  DistributedSolver solver(corpus(), config);
+
+  solver.run_epoch();
+  solver.run_epoch();
+  EXPECT_EQ(solver.last_contributors(), 3);
+  EXPECT_EQ(count(solver.events(), ClusterEventKind::kDeltaCorrupted), 1u);
+  EXPECT_EQ(solver.worker_status(1), WorkerStatus::kActive);
+
+  // Quantization bounds the invariant drift per applied delta; a corrupted
+  // round must not loosen it further.
+  EXPECT_LT(invariant_error(solver, Formulation::kDual), 5e-3);
+  solver.run_epoch();
+  EXPECT_EQ(solver.last_contributors(), 4);
+}
+
 TEST(DistFaults, EpochWithNoSurvivorsLeavesTheModelUntouched) {
   auto config = base_config(Formulation::kDual, 2);
   config.faults.scripted.push_back(crash_at(3, 0));

@@ -143,6 +143,52 @@ INSTANTIATE_TEST_SUITE_P(
              aggregation_name(std::get<2>(info.param));
     });
 
+// --- Compressed delta exchange ----------------------------------------------
+
+TEST(DistributedSolver, CompressedDeltasTrackDenseAndHalveWireBytes) {
+  for (const auto f : {Formulation::kPrimal, Formulation::kDual}) {
+    auto dense_config = base_config(f, 4);
+    auto compressed_config = dense_config;
+    compressed_config.compress_deltas = true;
+    DistributedSolver dense(corpus(), dense_config);
+    DistributedSolver compressed(corpus(), compressed_config);
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      dense.run_epoch();
+      compressed.run_epoch();
+    }
+    // fp16-quantized deltas perturb each aggregation by at most the block
+    // scale · 2^-11, so the trajectories stay within a small factor.
+    EXPECT_LT(compressed.duality_gap(), dense.duality_gap() * 4 + 1e-12)
+        << formulation_name(f);
+    EXPECT_GT(compressed.duality_gap() * 4, dense.duality_gap())
+        << formulation_name(f);
+    // The uncompressed exchange charges the raw fp64 image; the codec must
+    // deliver at least the 2x reduction the precision ablation gates on.
+    EXPECT_EQ(dense.delta_bytes_on_wire(), dense.delta_bytes_dense());
+    EXPECT_GT(compressed.delta_bytes_on_wire(), 0u);
+    EXPECT_GE(compressed.delta_bytes_dense(),
+              2 * compressed.delta_bytes_on_wire());
+  }
+}
+
+TEST(DistributedSolver, SparsifiedDeltasStillConverge) {
+  auto config = base_config(Formulation::kDual, 4);
+  config.compress_deltas = true;
+  config.delta_threshold = 1e-3;  // drop the numerically dead tail
+  DistributedSolver solver(corpus(), config);
+  solver.run_epoch();
+  const double early = solver.duality_gap();
+  for (int epoch = 0; epoch < 10; ++epoch) solver.run_epoch();
+  EXPECT_LT(solver.duality_gap(), early);
+}
+
+TEST(DistributedSolver, RejectsNegativeDeltaThreshold) {
+  auto config = base_config(Formulation::kDual, 2);
+  config.compress_deltas = true;
+  config.delta_threshold = -0.5;
+  EXPECT_THROW(DistributedSolver(corpus(), config), std::invalid_argument);
+}
+
 TEST(DistributedSolver, LocalEpochsPerRoundMultiplyWork) {
   auto config = base_config(Formulation::kDual, 2);
   config.local_epochs_per_round = 3;

@@ -203,15 +203,25 @@ TEST(KernelBackends, PaddedDuplicateIndicesAreExactNoOps) {
     target[i] = 1.5F - 0.125F * static_cast<float>(i);
   }
 
+  // Explicit pointer types disambiguate the float overloads from the Half
+  // ones added alongside them.
+  using DotFn = double (*)(const SparseVectorView&, std::span<const float>);
+  using ResFn = double (*)(const SparseVectorView&, std::span<const float>,
+                           std::span<const float>);
+  using AxpyFn = void (*)(double, const SparseVectorView&, std::span<float>);
   for (const bool use_vec : {false, true}) {
-    const auto dot_fn = use_vec ? vec::sparse_dot : scalar::sparse_dot;
-    const auto res_fn =
-        use_vec ? vec::sparse_residual_dot : scalar::sparse_residual_dot;
+    const DotFn dot_fn = use_vec ? static_cast<DotFn>(vec::sparse_dot)
+                                 : static_cast<DotFn>(scalar::sparse_dot);
+    const ResFn res_fn =
+        use_vec ? static_cast<ResFn>(vec::sparse_residual_dot)
+                : static_cast<ResFn>(scalar::sparse_residual_dot);
     EXPECT_EQ(dot_fn(padded, dense), dot_fn(real, dense));
     EXPECT_EQ(res_fn(padded, target, dense), res_fn(real, target, dense));
     std::vector<float> from_real = dense;
     std::vector<float> from_padded = dense;
-    const auto axpy_fn = use_vec ? vec::sparse_axpy : scalar::sparse_axpy;
+    const AxpyFn axpy_fn = use_vec
+                               ? static_cast<AxpyFn>(vec::sparse_axpy)
+                               : static_cast<AxpyFn>(scalar::sparse_axpy);
     axpy_fn(-0.75, real, from_real);
     axpy_fn(-0.75, padded, from_padded);
     EXPECT_EQ(from_real, from_padded);

@@ -5,6 +5,7 @@
 // same metadata in its BENCH_*.json "meta" object.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -37,15 +38,28 @@ inline std::string run_meta_json(const std::string& tool) {
 
 /// Loudly surfaces ring-buffer overflow: a truncated trace silently hides
 /// the *oldest* spans, which is exactly where a root cause tends to live.
-/// Call once per run, after the solvers finish and before reports go out.
-inline void warn_if_trace_dropped(const std::string& tool) {
+/// Safe to call repeatedly — long-running tools (tpascd_serve's replay loop)
+/// can wrap the ring many times over, so the warning is rate-limited: it
+/// fires when the cumulative dropped count first becomes nonzero and then
+/// only each time it doubles past the last warning, instead of once per
+/// wrap.  Returns the cumulative dropped count so callers can surface it in
+/// their stats lines.
+inline std::uint64_t warn_if_trace_dropped(const std::string& tool) {
+  static std::atomic<std::uint64_t> next_warn_at{1};
   const auto dropped = obs::trace_events_dropped();
-  if (dropped == 0) return;
+  auto threshold = next_warn_at.load(std::memory_order_relaxed);
+  if (dropped < threshold) return dropped;
+  // One printer per threshold crossing, even if called concurrently.
+  if (!next_warn_at.compare_exchange_strong(threshold, dropped * 2,
+                                            std::memory_order_relaxed)) {
+    return dropped;
+  }
   std::fprintf(stderr,
                "%s: warning: trace ring overflowed — %llu oldest spans were "
                "overwritten; the Chrome trace and attribution are incomplete "
                "(trace fewer rounds or raise the per-thread ring capacity)\n",
                tool.c_str(), static_cast<unsigned long long>(dropped));
+  return dropped;
 }
 
 inline std::ofstream open_report(const std::string& path) {

@@ -139,6 +139,12 @@ int main(int argc, char** argv) {
 
     util::WallTimer replay_timer;
     for (std::size_t i = 0; i < total; ++i) {
+      // Long replays can wrap the trace ring many times over; the warning is
+      // rate-limited (doubling threshold), so polling per chunk is cheap and
+      // surfaces the overflow while the run is still going.
+      if (i % 4096 == 0 && i > 0) {
+        tools::warn_if_trace_dropped("tpascd_serve");
+      }
       if (i == reload_at) {
         const auto v2 = server.reload(parser.get_string("reload", ""));
         std::printf("hot-reloaded model v%llu at request %zu\n",
@@ -170,15 +176,20 @@ int main(int argc, char** argv) {
                 total, replay_seconds,
                 static_cast<double>(total) / replay_seconds,
                 static_cast<unsigned long long>(shed));
-    std::printf("stats: %s\n", stats.summary().c_str());
+    const auto trace_dropped = tools::warn_if_trace_dropped("tpascd_serve");
+    if (trace_dropped > 0) {
+      std::printf("stats: %s, trace dropped %llu spans (cumulative)\n",
+                  stats.summary().c_str(),
+                  static_cast<unsigned long long>(trace_dropped));
+    } else {
+      std::printf("stats: %s\n", stats.summary().c_str());
+    }
     std::printf("mean prediction %.6f\n",
                 sum / static_cast<double>(predictions.size()));
     if (stats.throughput_rps <= 0.0 || stats.p99_us <= 0.0) {
       std::fprintf(stderr, "error: empty stats snapshot\n");
       return 1;
     }
-
-    tools::warn_if_trace_dropped("tpascd_serve");
     if (!trace_out.empty()) {
       // The scoring pool has been drained, so the export sees quiesced
       // rings (the tracer's contract).
@@ -205,6 +216,7 @@ int main(int argc, char** argv) {
                  .field_num("p50_us", stats.p50_us)
                  .field_num("p95_us", stats.p95_us)
                  .field_num("p99_us", stats.p99_us)
+                 .field_uint("trace_events_dropped", trace_dropped)
                  .str()
           << '\n';
       obs::metrics().write_jsonl(out);

@@ -33,6 +33,7 @@
 #include "core/model_io.hpp"
 #include "core/solver_factory.hpp"
 #include "data/generators.hpp"
+#include "linalg/half.hpp"
 #include "obs/attribution.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
@@ -328,6 +329,19 @@ int main(int argc, char** argv) {
                     "replicated solvers: updates per worker between replica "
                     "merges (0 = automatic)",
                     "0");
+  parser.add_option("precision",
+                    "shared-vector storage precision: fp32 | fp16 (fp16 "
+                    "halves replica/shared bandwidth; weights, merges and "
+                    "the duality gap stay full precision — DESIGN.md §16)",
+                    "fp32");
+  parser.add_flag("compress-deltas",
+                  "cluster drivers: ship worker deltas quantized (fp16 "
+                  "payload + per-block fp32 scales, FNV-checksummed in "
+                  "encoded form)");
+  parser.add_option("delta-threshold",
+                    "compressed deltas: drop entries below this fraction of "
+                    "the delta's max magnitude (0 = dense-quantized layout)",
+                    "0");
   parser.add_option("workers", "distribute across this many workers", "1");
   parser.add_option("fleet",
                     "heterogeneous worker fleet: comma-separated "
@@ -480,6 +494,14 @@ int main(int argc, char** argv) {
         static_cast<int>(parser.get_int("merge-every", 0));
     solver_config.merge_every = run_options.merge_every;
 
+    const auto precision_name = parser.get_string("precision", "fp32");
+    if (precision_name == "fp16" || precision_name == "half") {
+      linalg::set_shared_precision(linalg::SharedPrecision::kFp16);
+    } else if (precision_name != "fp32") {
+      throw std::invalid_argument("unknown --precision '" + precision_name +
+                                  "' (fp32 | fp16)");
+    }
+
     cluster::placement::FleetSpec fleet;
     if (parser.has("fleet")) {
       fleet = cluster::placement::parse_fleet_spec(
@@ -592,6 +614,8 @@ int main(int argc, char** argv) {
       async.fleet = fleet;
       async.placement = placement_mode;
       async.placement_seed = placement_seed;
+      async.compress_deltas = parser.get_bool("compress-deltas");
+      async.delta_threshold = parser.get_double("delta-threshold", 0.0);
       build_faults(async.faults);
       if (parser.get_bool("elastic")) {
         const int leave_worker =
@@ -638,6 +662,14 @@ int main(int argc, char** argv) {
             trace.count_events(core::ClusterEventKind::kDeltaCorrupted),
             trace.count_events(core::ClusterEventKind::kCheckpoint));
       }
+      if (async.compress_deltas && solver.delta_bytes_dense() > 0) {
+        std::printf(
+            "delta exchange: %.2f MB on wire vs %.2f MB dense (%.2fx)\n",
+            static_cast<double>(solver.delta_bytes_on_wire()) / 1e6,
+            static_cast<double>(solver.delta_bytes_dense()) / 1e6,
+            static_cast<double>(solver.delta_bytes_dense()) /
+                static_cast<double>(solver.delta_bytes_on_wire()));
+      }
       const auto rounds = std::max(1, solver.current_epoch());
       report_placement(solver.placement_result(),
                        trace.points().back().sim_seconds / rounds);
@@ -662,6 +694,8 @@ int main(int argc, char** argv) {
       dist.placement = placement_mode;
       dist.placement_seed = placement_seed;
       dist.comm_overlap = !fleet.empty() && !parser.get_bool("no-overlap");
+      dist.compress_deltas = parser.get_bool("compress-deltas");
+      dist.delta_threshold = parser.get_double("delta-threshold", 0.0);
       build_faults(dist.faults);
 
       cluster::DistributedSolver solver(dataset, dist);
@@ -682,6 +716,14 @@ int main(int argc, char** argv) {
             trace.count_events(core::ClusterEventKind::kDeadlineMiss),
             trace.count_events(core::ClusterEventKind::kLateDelta),
             trace.count_events(core::ClusterEventKind::kCheckpoint));
+      }
+      if (dist.compress_deltas && solver.delta_bytes_dense() > 0) {
+        std::printf(
+            "delta exchange: %.2f MB on wire vs %.2f MB dense (%.2fx)\n",
+            static_cast<double>(solver.delta_bytes_on_wire()) / 1e6,
+            static_cast<double>(solver.delta_bytes_dense()) / 1e6,
+            static_cast<double>(solver.delta_bytes_dense()) /
+                static_cast<double>(solver.delta_bytes_on_wire()));
       }
       report_placement(solver.placement_result(),
                        solver.last_breakdown().total());
